@@ -1,0 +1,128 @@
+// Command dreval evaluates a new policy on a logged trace using the
+// Direct Method, IPS and the Doubly Robust estimator, with overlap
+// diagnostics and bootstrap confidence intervals.
+//
+// The trace is a CSV or JSON-lines file in the traceio schema (numeric
+// features, decision label, reward, propensity). The new policy is
+// specified on the command line:
+//
+//	-policy constant:<decision>   always choose <decision>
+//	-policy best-observed         per-context-group argmax of mean reward
+//
+// When the trace has no recorded propensities (all zero), pass
+// -estimate-propensities to estimate them from per-context-group
+// decision frequencies.
+//
+// Usage:
+//
+//	dreval -trace trace.csv -policy constant:cdnA [-format csv]
+//	       [-estimate-propensities] [-clip 0] [-bootstrap 200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drnet/internal/core"
+	"drnet/internal/mathx"
+	"drnet/internal/traceio"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (required)")
+		format    = flag.String("format", "csv", "trace format: csv or jsonl")
+		policy    = flag.String("policy", "", "new policy: constant:<decision> or best-observed (required)")
+		estProp   = flag.Bool("estimate-propensities", false, "estimate propensities from the trace")
+		clip      = flag.Float64("clip", 0, "importance-weight clipping threshold (0 = off)")
+		selfNorm  = flag.Bool("self-normalize", false, "use self-normalized IPS/DR")
+		bootstrap = flag.Int("bootstrap", 200, "bootstrap resamples for the DR confidence interval (0 = off)")
+		seed      = flag.Int64("seed", 1, "RNG seed for the bootstrap")
+	)
+	flag.Parse()
+	if *tracePath == "" || *policy == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *format, *policy, *estProp, *clip, *selfNorm, *bootstrap, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "dreval: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, format, policySpec string, estProp bool, clip float64, selfNorm bool, bootstrapB int, seed int64) error {
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var ft traceio.FlatTrace
+	switch format {
+	case "csv":
+		ft, err = traceio.ReadCSV(f)
+	case "jsonl":
+		ft, err = traceio.ReadJSONL(f)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	trace := traceio.ToCore(ft)
+	key := func(c traceio.FlatContext) string { return c.Key() }
+
+	if estProp {
+		if err := core.EstimatePropensities(trace, key, 5, 1e-3); err != nil {
+			return err
+		}
+	}
+	if err := trace.Validate(); err != nil {
+		return fmt.Errorf("%w (use -estimate-propensities if the trace has none)", err)
+	}
+
+	newPolicy, err := traceio.ParsePolicy(policySpec, trace)
+	if err != nil {
+		return err
+	}
+
+	diag, err := core.Diagnose(trace, newPolicy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace: %d records, %d distinct decisions\n", len(trace), len(trace.DecisionCounts()))
+	fmt.Printf("old policy on-policy value: %.4f\n", trace.MeanReward())
+	fmt.Printf("overlap: %s\n\n", diag)
+
+	model := core.FitTable(trace, func(c traceio.FlatContext, d string) string {
+		return c.Key() + "|" + d
+	})
+	dm, err := core.DirectMethod(trace, newPolicy, model)
+	if err != nil {
+		return err
+	}
+	ips, err := core.IPS(trace, newPolicy, core.IPSOptions{Clip: clip, SelfNormalize: selfNorm})
+	if err != nil {
+		return err
+	}
+	dr, err := core.DoublyRobust(trace, newPolicy, model, core.DROptions{Clip: clip, SelfNormalize: selfNorm})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("DM  (table model):  %s\n", dm)
+	fmt.Printf("IPS:                %s\n", ips)
+	fmt.Printf("DR:                 %s\n", dr)
+
+	if bootstrapB > 0 {
+		rng := mathx.NewRNG(seed)
+		ci, err := core.Bootstrap(trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
+			m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
+			return core.DoublyRobust(t, newPolicy, m, core.DROptions{Clip: clip, SelfNormalize: selfNorm})
+		}, rng, bootstrapB, 0.95)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("DR 95%% bootstrap CI: [%.4f, %.4f]\n", ci.Lo, ci.Hi)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drnet/internal/core"
+	"drnet/internal/mathx"
+	"drnet/internal/traceio"
+)
+
+func writeTestTrace(t *testing.T, blankPropensities bool) string {
+	t.Helper()
+	rng := mathx.NewRNG(1)
+	old := core.EpsilonGreedyPolicy[float64, int]{
+		Base:      func(float64) int { return 0 },
+		Decisions: []int{0, 1, 2},
+		Epsilon:   0.4,
+	}
+	var ctxs []float64
+	for i := 0; i < 600; i++ {
+		ctxs = append(ctxs, float64(rng.Intn(4))) // discrete contexts so grouping works
+	}
+	tr := core.CollectTrace(ctxs, old, func(x float64, d int) float64 {
+		return x*float64(d+1) + rng.Normal(0, 0.1)
+	}, rng)
+	if blankPropensities {
+		for i := range tr {
+			tr[i].Propensity = 0
+		}
+	}
+	ft := traceio.Flatten(tr,
+		func(x float64) []float64 { return []float64{x} },
+		func(d int) string { return []string{"a", "b", "c"}[d] })
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := traceio.WriteCSV(f, ft); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunConstantPolicy(t *testing.T) {
+	path := writeTestTrace(t, false)
+	if err := run(path, "csv", "constant:c", false, 0, false, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBestObserved(t *testing.T) {
+	path := writeTestTrace(t, false)
+	if err := run(path, "csv", "best-observed", false, 10, true, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEstimatesPropensities(t *testing.T) {
+	path := writeTestTrace(t, true)
+	// Without estimation the trace is invalid...
+	if err := run(path, "csv", "constant:c", false, 0, false, 0, 1); err == nil {
+		t.Fatal("expected validation error for zero propensities")
+	}
+	// ...with estimation it works.
+	if err := run(path, "csv", "constant:c", true, 0, false, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/does/not/exist.csv", "csv", "constant:c", false, 0, false, 0, 1); err == nil {
+		t.Fatal("expected file error")
+	}
+	path := writeTestTrace(t, false)
+	if err := run(path, "tsv", "constant:c", false, 0, false, 0, 1); err == nil {
+		t.Fatal("expected format error")
+	}
+	if err := run(path, "csv", "wat", false, 0, false, 0, 1); err == nil {
+		t.Fatal("expected policy error")
+	}
+	if err := run(path, "csv", "constant:", false, 0, false, 0, 1); err == nil {
+		t.Fatal("expected empty-decision error")
+	}
+}
+
+func TestBuildPolicyBestObserved(t *testing.T) {
+	trace := core.Trace[traceio.FlatContext, string]{
+		{Context: traceio.FlatContext{Features: []float64{1}}, Decision: "a", Reward: 1, Propensity: 1},
+		{Context: traceio.FlatContext{Features: []float64{1}}, Decision: "b", Reward: 5, Propensity: 1},
+		{Context: traceio.FlatContext{Features: []float64{2}}, Decision: "a", Reward: 9, Propensity: 1},
+	}
+	p, err := traceio.ParsePolicy("best-observed", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context {1}: b is best. Context {2}: a. Unseen context: global
+	// best (a: mean 5 vs b: 5 — tie broken by map order; accept either).
+	got := p.Distribution(traceio.FlatContext{Features: []float64{1}})
+	if got[0].Decision != "b" {
+		t.Fatalf("context 1 best = %q, want b", got[0].Decision)
+	}
+	got = p.Distribution(traceio.FlatContext{Features: []float64{2}})
+	if got[0].Decision != "a" {
+		t.Fatalf("context 2 best = %q, want a", got[0].Decision)
+	}
+	unseen := p.Distribution(traceio.FlatContext{Features: []float64{99}})
+	if unseen[0].Decision != "a" && unseen[0].Decision != "b" {
+		t.Fatalf("unseen context best = %q", unseen[0].Decision)
+	}
+}
+
+func TestRunJSONL(t *testing.T) {
+	// Convert the CSV fixture to JSONL and evaluate.
+	path := writeTestTrace(t, false)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := traceio.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(t.TempDir(), "trace.jsonl")
+	jf, err := os.Create(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.WriteJSONL(jf, ft); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	if err := run(jpath, "jsonl", "constant:b", false, 0, false, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Command drevald serves trace-driven policy evaluation over HTTP, so
+// measurement pipelines can POST logged traces and receive DM/IPS/DR
+// estimates with diagnostics — the paper's Figure 1 evaluator as a
+// network service.
+//
+// Endpoints:
+//
+//	GET  /healthz    liveness probe
+//	POST /diagnose   {trace, policy} → overlap diagnostics
+//	POST /evaluate   {trace, policy, options} → DM/IPS/DR estimates,
+//	                 diagnostics and an optional bootstrap CI
+//
+// Request schema (JSON):
+//
+//	{
+//	  "trace":  [{"features":[...], "decision":"d", "reward":r,
+//	              "propensity":p}, ...],
+//	  "policy": "constant:<decision>" | "best-observed",
+//	  "options": {"clip":0, "selfNormalize":false,
+//	              "estimatePropensities":false, "bootstrap":200,
+//	              "seed":1}
+//	}
+//
+// Usage:
+//
+//	drevald [-addr :8080]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"drnet/internal/core"
+	"drnet/internal/mathx"
+	"drnet/internal/traceio"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		log.Printf("drevald listening on %s", *addr)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("drevald: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drevald: shutdown: %v", err)
+	}
+}
+
+// newMux wires the service handlers; separated from main for testing.
+func newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", handleHealthz)
+	mux.HandleFunc("POST /diagnose", handleDiagnose)
+	mux.HandleFunc("POST /evaluate", handleEvaluate)
+	return mux
+}
+
+func handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// evalOptions mirrors the request "options" object.
+type evalOptions struct {
+	Clip                 float64 `json:"clip"`
+	SelfNormalize        bool    `json:"selfNormalize"`
+	EstimatePropensities bool    `json:"estimatePropensities"`
+	Bootstrap            int     `json:"bootstrap"`
+	Seed                 int64   `json:"seed"`
+}
+
+// evalRequest is the request body of /evaluate and /diagnose.
+type evalRequest struct {
+	Trace   []traceio.FlatRecord `json:"trace"`
+	Policy  string               `json:"policy"`
+	Options evalOptions          `json:"options"`
+}
+
+// estimateJSON serializes a core.Estimate.
+type estimateJSON struct {
+	Value     float64 `json:"value"`
+	StdErr    float64 `json:"stdErr"`
+	N         int     `json:"n"`
+	ESS       float64 `json:"ess"`
+	MaxWeight float64 `json:"maxWeight"`
+}
+
+func toJSON(e core.Estimate) estimateJSON {
+	return estimateJSON{Value: e.Value, StdErr: e.StdErr, N: e.N, ESS: e.ESS, MaxWeight: e.MaxWeight}
+}
+
+// diagnosticsJSON serializes core.Diagnostics.
+type diagnosticsJSON struct {
+	N             int     `json:"n"`
+	ESS           float64 `json:"ess"`
+	MatchRate     float64 `json:"matchRate"`
+	MeanWeight    float64 `json:"meanWeight"`
+	MaxWeight     float64 `json:"maxWeight"`
+	ZeroSupport   int     `json:"zeroSupport"`
+	MinPropensity float64 `json:"minPropensity"`
+}
+
+// evalResponse is the response body of /evaluate.
+type evalResponse struct {
+	DM          estimateJSON    `json:"dm"`
+	IPS         estimateJSON    `json:"ips"`
+	DR          estimateJSON    `json:"dr"`
+	Diagnostics diagnosticsJSON `json:"diagnostics"`
+	DRInterval  *struct {
+		Lo, Hi, Level float64
+	} `json:"drInterval,omitempty"`
+}
+
+// maxBodyBytes bounds request bodies (64 MiB).
+const maxBodyBytes = 64 << 20
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*evalRequest, core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], bool) {
+	var req evalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return nil, nil, nil, false
+	}
+	if len(req.Trace) == 0 {
+		httpError(w, http.StatusBadRequest, "empty trace")
+		return nil, nil, nil, false
+	}
+	trace := traceio.ToCore(traceio.FlatTrace{Records: req.Trace})
+	if req.Options.EstimatePropensities {
+		if err := core.EstimatePropensities(trace, func(c traceio.FlatContext) string {
+			return c.Key()
+		}, 5, 1e-3); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("propensity estimation: %v", err))
+			return nil, nil, nil, false
+		}
+	}
+	if err := trace.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("%v (set options.estimatePropensities if the trace has none)", err))
+		return nil, nil, nil, false
+	}
+	policy, err := traceio.ParsePolicy(req.Policy, trace)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return nil, nil, nil, false
+	}
+	return &req, trace, policy, true
+}
+
+func handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	_, trace, policy, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	diag, err := core.Diagnose(trace, policy)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, diagJSON(diag))
+}
+
+func handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	req, trace, policy, ok := decodeRequest(w, r)
+	if !ok {
+		return
+	}
+	diag, err := core.Diagnose(trace, policy)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	model := core.FitTable(trace, func(c traceio.FlatContext, d string) string {
+		return c.Key() + "|" + d
+	})
+	dm, err := core.DirectMethod(trace, policy, model)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	ips, err := core.IPS(trace, policy, core.IPSOptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	dr, err := core.DoublyRobust(trace, policy, model, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	resp := evalResponse{DM: toJSON(dm), IPS: toJSON(ips), DR: toJSON(dr), Diagnostics: diagJSON(diag)}
+	if b := req.Options.Bootstrap; b > 0 {
+		seed := req.Options.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rng := mathx.NewRNG(seed)
+		ci, err := core.Bootstrap(trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
+			m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
+			return core.DoublyRobust(t, policy, m, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+		}, rng, b, 0.95)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		resp.DRInterval = &struct{ Lo, Hi, Level float64 }{ci.Lo, ci.Hi, ci.Level}
+	}
+	writeJSON(w, resp)
+}
+
+func diagJSON(d core.Diagnostics) diagnosticsJSON {
+	return diagnosticsJSON{
+		N: d.N, ESS: d.ESS, MatchRate: d.MatchRate, MeanWeight: d.MeanWeight,
+		MaxWeight: d.MaxWeight, ZeroSupport: d.ZeroSupport, MinPropensity: d.MinPropensity,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("drevald: encoding response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,114 @@
+// Command experiments regenerates every table and figure of the
+// reproduction: the paper's Figure 7 panels (F7a, F7b, F7c) and the
+// extension experiments E1–E9 described in DESIGN.md.
+//
+// Usage:
+//
+//	experiments [-run all|F7a,F7b,...] [-runs 50] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"drnet/internal/experiments"
+)
+
+type runner func(runs int, seed int64) (experiments.Result, error)
+
+func main() {
+	var (
+		which    = flag.String("run", "all", "comma-separated experiment ids (F7a F7b F7c E1..E12 ABL) or 'all'")
+		runs     = flag.Int("runs", 50, "independent runs per experiment (the paper uses 50)")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		parallel = flag.Int("parallel", 1, "experiments to run concurrently (results print in order)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *which, *runs, *seed, *parallel); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the selected experiments — up to parallel of them
+// concurrently — and renders the results to w in declaration order.
+func run(w io.Writer, which string, runs int, seed int64, parallel int) error {
+	all := []struct {
+		id string
+		fn runner
+	}{
+		{"F7a", experiments.Figure7a},
+		{"F7b", func(r int, s int64) (experiments.Result, error) { return experiments.Figure7b(r, 5, s) }},
+		{"F7c", func(r int, s int64) (experiments.Result, error) { return experiments.Figure7c(r, 0, s) }},
+		{"E1", experiments.SecondOrderBias},
+		{"E2", experiments.RandomnessSweep},
+		{"E3", experiments.NonStationaryReplay},
+		{"E4", experiments.WorldStateCorrection},
+		{"E5", experiments.CouplingCorrection},
+		{"E6", experiments.DimensionalitySweep},
+		{"E7", experiments.RelayBias},
+		{"E8", experiments.PolicySelection},
+		{"E9", experiments.PropensityEstimation},
+		{"E10", experiments.ExplorationDesign},
+		{"E11", experiments.OnlineVsOffline},
+		{"E12", experiments.CCReplayBias},
+		{"ABL", experiments.Ablations},
+	}
+
+	want := map[string]bool{}
+	if which != "all" {
+		for _, id := range strings.Split(which, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	type job struct {
+		id string
+		fn runner
+	}
+	var jobs []job
+	for _, e := range all {
+		if which != "all" && !want[strings.ToUpper(e.id)] {
+			continue
+		}
+		jobs = append(jobs, job{e.id, e.fn})
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("no experiment matches -run=%s", which)
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(jobs) {
+		parallel = len(jobs)
+	}
+
+	type outcome struct {
+		res experiments.Result
+		err error
+	}
+	results := make([]outcome, len(jobs))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := j.fn(runs, seed)
+			results[i] = outcome{res: res, err: err}
+		}(i, j)
+	}
+	wg.Wait()
+	for i, out := range results {
+		if out.err != nil {
+			return fmt.Errorf("%s: %w", jobs[i].id, out.err)
+		}
+		fmt.Fprintln(w, out.res.Render())
+	}
+	return nil
+}

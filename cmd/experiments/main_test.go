@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "E1", 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E1 — Second-order bias") {
+		t.Fatalf("missing E1 header:\n%s", out)
+	}
+	if strings.Contains(out, "F7a") {
+		t.Fatal("unselected experiment was run")
+	}
+}
+
+func TestRunMultipleAndCaseInsensitive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "e1, E9", 2, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E1 —", "E9 —"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// Parallel output preserves declaration order: E1 before E9.
+	if strings.Index(out, "E1 —") > strings.Index(out, "E9 —") {
+		t.Fatal("results out of order under -parallel")
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "ZZZ", 1, 1, 1); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}

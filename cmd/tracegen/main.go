@@ -1,0 +1,144 @@
+// Command tracegen generates synthetic off-policy evaluation traces
+// from any of the repository's scenario worlds and writes them as CSV
+// or JSON-lines for use with cmd/dreval or external tooling.
+//
+// Usage:
+//
+//	tracegen -scenario bandit|cfa|relay|cdn [-n 1000] [-seed 1]
+//	         [-format csv|jsonl] [-out trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"drnet/internal/cdnsim"
+	"drnet/internal/cfa"
+	"drnet/internal/core"
+	"drnet/internal/mathx"
+	"drnet/internal/relay"
+	"drnet/internal/traceio"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "bandit", "trace source: bandit, cfa, relay, cdn")
+		n        = flag.Int("n", 1000, "number of records (ignored for cdn, which uses the paper's fixed counts)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		format   = flag.String("format", "csv", "output format: csv or jsonl")
+		out      = flag.String("out", "-", "output file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	rng := mathx.NewRNG(*seed)
+	ft, err := generate(*scenario, *n, rng)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "csv":
+		err = traceio.WriteCSV(w, ft)
+	case "jsonl":
+		err = traceio.WriteJSONL(w, ft)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func generate(scenario string, n int, rng *mathx.RNG) (traceio.FlatTrace, error) {
+	switch scenario {
+	case "bandit":
+		old := core.EpsilonGreedyPolicy[float64, int]{
+			Base:      func(float64) int { return 0 },
+			Decisions: []int{0, 1, 2},
+			Epsilon:   0.3,
+		}
+		ctxs := make([]float64, n)
+		for i := range ctxs {
+			ctxs[i] = rng.Float64()
+		}
+		tr := core.CollectTrace(ctxs, old, func(x float64, d int) float64 {
+			return x*float64(d+1) + rng.Normal(0, 0.2)
+		}, rng)
+		ft := traceio.Flatten(tr,
+			func(x float64) []float64 { return []float64{x} },
+			strconv.Itoa)
+		ft.FeatureNames = []string{"x"}
+		return ft, nil
+	case "cfa":
+		w := cfa.DefaultWorld()
+		if err := w.Init(rng); err != nil {
+			return traceio.FlatTrace{}, err
+		}
+		d, err := w.Collect(n, rng)
+		if err != nil {
+			return traceio.FlatTrace{}, err
+		}
+		ft := traceio.Flatten(d.Trace,
+			func(c cfa.Client) []float64 {
+				out := make([]float64, len(c.Features))
+				for i, f := range c.Features {
+					out[i] = float64(f)
+				}
+				return out
+			},
+			func(dec cfa.Decision) string {
+				return fmt.Sprintf("cdn%d-br%d", dec.CDN, dec.Bitrate)
+			})
+		for i := 0; i < w.NumFeatures; i++ {
+			ft.FeatureNames = append(ft.FeatureNames, fmt.Sprintf("feat%d", i))
+		}
+		return ft, nil
+	case "relay":
+		w := relay.DefaultWorld()
+		if err := w.Init(rng); err != nil {
+			return traceio.FlatTrace{}, err
+		}
+		d, err := w.Collect(n, rng)
+		if err != nil {
+			return traceio.FlatTrace{}, err
+		}
+		ft := traceio.Flatten(d.Trace,
+			func(c relay.Call) []float64 {
+				nat := 0.0
+				if c.NAT {
+					nat = 1
+				}
+				return []float64{float64(c.SrcAS), float64(c.DstAS), nat}
+			},
+			func(p relay.Path) string { return p.String() })
+		ft.FeatureNames = []string{"src_as", "dst_as", "nat"}
+		return ft, nil
+	case "cdn":
+		w := cdnsim.DefaultWorld()
+		d, err := cdnsim.Collect(w, rng)
+		if err != nil {
+			return traceio.FlatTrace{}, err
+		}
+		ft := traceio.Flatten(d.Trace,
+			func(r cdnsim.Request) []float64 { return []float64{float64(r.ISP)} },
+			func(c cdnsim.Config) string { return fmt.Sprintf("fe%d-be%d", c.FE, c.BE) })
+		ft.FeatureNames = []string{"isp"}
+		return ft, nil
+	default:
+		return traceio.FlatTrace{}, fmt.Errorf("unknown scenario %q (want bandit, cfa, relay or cdn)", scenario)
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"drnet/internal/mathx"
+	"drnet/internal/traceio"
+)
+
+func TestGenerateAllScenarios(t *testing.T) {
+	for _, scenario := range []string{"bandit", "cfa", "relay", "cdn"} {
+		rng := mathx.NewRNG(1)
+		ft, err := generate(scenario, 200, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if len(ft.Records) == 0 {
+			t.Fatalf("%s: empty trace", scenario)
+		}
+		// Every record must have valid propensities and consistent
+		// feature dimensionality.
+		nf := len(ft.Records[0].Features)
+		for i, rec := range ft.Records {
+			if rec.Propensity <= 0 || rec.Propensity > 1 {
+				t.Fatalf("%s record %d: propensity %g", scenario, i, rec.Propensity)
+			}
+			if len(rec.Features) != nf {
+				t.Fatalf("%s record %d: ragged features", scenario, i)
+			}
+			if rec.Decision == "" {
+				t.Fatalf("%s record %d: empty decision", scenario, i)
+			}
+		}
+		// And it must serialize round-trip.
+		var buf bytes.Buffer
+		if err := traceio.WriteCSV(&buf, ft); err != nil {
+			t.Fatalf("%s: write: %v", scenario, err)
+		}
+		back, err := traceio.ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", scenario, err)
+		}
+		if len(back.Records) != len(ft.Records) {
+			t.Fatalf("%s: round trip lost records", scenario)
+		}
+	}
+}
+
+func TestGenerateBanditSized(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	ft, err := generate("bandit", 123, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Records) != 123 {
+		t.Fatalf("got %d records, want 123", len(ft.Records))
+	}
+	if len(ft.FeatureNames) != 1 || ft.FeatureNames[0] != "x" {
+		t.Fatalf("feature names %v", ft.FeatureNames)
+	}
+}
+
+func TestGenerateCDNIgnoresN(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	ft, err := generate("cdn", 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Records) != 2020 {
+		t.Fatalf("cdn trace has %d records, want the paper's 2020", len(ft.Records))
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	if _, err := generate("nope", 10, rng); err == nil {
+		t.Fatal("expected error for unknown scenario")
+	}
+}

@@ -1,0 +1,3 @@
+module drnet
+
+go 1.22

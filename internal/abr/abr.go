@@ -1,0 +1,131 @@
+// Package abr simulates HTTP adaptive-bitrate video streaming: chunked
+// sessions with buffer dynamics, rebuffering, QoE accounting, classic
+// ABR policies (buffer-based BBA, rate-based, and model-predictive
+// FastMPC-style control), and the bitrate-dependent throughput
+// observation model at the heart of the paper's Figure 2 / Figure 7b:
+// the throughput a client observes while downloading a chunk is
+// b·p(r) — a fraction of the available bandwidth b that shrinks for
+// small (low-bitrate) chunks because TCP never reaches steady state.
+package abr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ladder is an ascending set of available bitrates in Kbps.
+type Ladder []float64
+
+// DefaultLadder is a typical five-level ladder (the paper's "five
+// bitrate levels"), in Kbps: 240p … 1080p.
+func DefaultLadder() Ladder {
+	return Ladder{350, 750, 1200, 1850, 2850}
+}
+
+// Validate checks that the ladder is non-empty, positive and ascending.
+func (l Ladder) Validate() error {
+	if len(l) == 0 {
+		return errors.New("abr: empty ladder")
+	}
+	prev := 0.0
+	for i, r := range l {
+		if r <= prev {
+			return fmt.Errorf("abr: ladder not strictly ascending at index %d (%g after %g)", i, r, prev)
+		}
+		prev = r
+	}
+	return nil
+}
+
+// Quality maps a bitrate to perceptual quality. Following the FastMPC
+// formulation we use q(r) = log(r / r_min), so quality gains saturate at
+// high bitrates.
+func (l Ladder) Quality(level int) float64 {
+	return math.Log(l[level] / l[0])
+}
+
+// HighestBelow returns the highest ladder index whose bitrate does not
+// exceed kbps, or 0 when even the lowest bitrate exceeds it.
+func (l Ladder) HighestBelow(kbps float64) int {
+	best := 0
+	for i, r := range l {
+		if r <= kbps {
+			best = i
+		}
+	}
+	return best
+}
+
+// ObservationModel captures how the observed throughput of a chunk
+// download relates to the true available bandwidth: observed = b·p(r)
+// where p(r) ∈ (0, 1] increases monotonically with the chunk's bitrate
+// (small chunks under-utilize the path). PMin is p at the lowest ladder
+// rung; p reaches 1 at the top rung.
+type ObservationModel struct {
+	Ladder Ladder
+	// PMin is the utilization fraction at the lowest bitrate, in (0, 1].
+	PMin float64
+}
+
+// P returns the utilization fraction p(r) for a ladder level.
+func (m ObservationModel) P(level int) float64 {
+	if len(m.Ladder) == 1 {
+		return 1
+	}
+	frac := float64(level) / float64(len(m.Ladder)-1)
+	return m.PMin + (1-m.PMin)*frac
+}
+
+// Observe returns the throughput (Kbps) a client observes downloading a
+// chunk at the given ladder level when the true available bandwidth is
+// availKbps.
+func (m ObservationModel) Observe(availKbps float64, level int) float64 {
+	return availKbps * m.P(level)
+}
+
+// QoEWeights weigh the three QoE components of the FastMPC objective:
+// total quality − RebufferPenalty·(rebuffer seconds) −
+// SwitchPenalty·(Σ |q_k − q_{k−1}|).
+type QoEWeights struct {
+	RebufferPenalty float64
+	SwitchPenalty   float64
+}
+
+// DefaultQoEWeights mirrors common FastMPC settings.
+func DefaultQoEWeights() QoEWeights {
+	return QoEWeights{RebufferPenalty: 4.3, SwitchPenalty: 1}
+}
+
+// ChunkOutcome records what happened for one chunk of a simulated
+// session.
+type ChunkOutcome struct {
+	// Level is the ladder index chosen.
+	Level int
+	// ObservedKbps is the throughput observed during the download.
+	ObservedKbps float64
+	// DownloadSec is how long the chunk took to fetch.
+	DownloadSec float64
+	// RebufferSec is the stall time incurred by this chunk.
+	RebufferSec float64
+	// BufferAfterSec is the playout buffer after the chunk arrived.
+	BufferAfterSec float64
+}
+
+// SessionResult summarizes a simulated session.
+type SessionResult struct {
+	Outcomes []ChunkOutcome
+	// QoE is the total session QoE under the weights used.
+	QoE float64
+	// TotalRebufferSec is the summed stall time.
+	TotalRebufferSec float64
+}
+
+// MeanChunkQoE returns QoE per chunk, the session-size-independent
+// metric used when comparing evaluators.
+func (r SessionResult) MeanChunkQoE() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	return r.QoE / float64(len(r.Outcomes))
+}

@@ -1,0 +1,316 @@
+package abr
+
+import (
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestLadderValidate(t *testing.T) {
+	if err := DefaultLadder().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Ladder{}).Validate(); err == nil {
+		t.Fatal("empty ladder should fail")
+	}
+	if err := (Ladder{500, 400}).Validate(); err == nil {
+		t.Fatal("descending ladder should fail")
+	}
+	if err := (Ladder{0, 100}).Validate(); err == nil {
+		t.Fatal("zero bitrate should fail")
+	}
+}
+
+func TestLadderQuality(t *testing.T) {
+	l := DefaultLadder()
+	if q := l.Quality(0); q != 0 {
+		t.Fatalf("lowest quality = %g, want 0", q)
+	}
+	for i := 1; i < len(l); i++ {
+		if l.Quality(i) <= l.Quality(i-1) {
+			t.Fatal("quality not increasing")
+		}
+	}
+}
+
+func TestHighestBelow(t *testing.T) {
+	l := DefaultLadder() // 350 750 1200 1850 2850
+	if got := l.HighestBelow(1000); got != 1 {
+		t.Fatalf("HighestBelow(1000) = %d, want 1", got)
+	}
+	if got := l.HighestBelow(100); got != 0 {
+		t.Fatalf("HighestBelow(100) = %d, want 0", got)
+	}
+	if got := l.HighestBelow(1e9); got != len(l)-1 {
+		t.Fatalf("HighestBelow(inf) = %d", got)
+	}
+}
+
+func TestObservationModel(t *testing.T) {
+	m := ObservationModel{Ladder: DefaultLadder(), PMin: 0.5}
+	if p := m.P(0); p != 0.5 {
+		t.Fatalf("P(0) = %g, want 0.5", p)
+	}
+	if p := m.P(4); p != 1 {
+		t.Fatalf("P(top) = %g, want 1", p)
+	}
+	for i := 1; i < 5; i++ {
+		if m.P(i) <= m.P(i-1) {
+			t.Fatal("p(r) must increase with bitrate")
+		}
+	}
+	if got := m.Observe(1000, 0); got != 500 {
+		t.Fatalf("Observe = %g, want 500", got)
+	}
+	one := ObservationModel{Ladder: Ladder{500}, PMin: 0.3}
+	if one.P(0) != 1 {
+		t.Fatal("single-rung ladder should have p=1")
+	}
+}
+
+func TestBandwidthProcesses(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	c := ConstantBandwidth{Kbps: 1500}.Series(10, rng)
+	for _, b := range c {
+		if b != 1500 {
+			t.Fatal("constant bandwidth not constant")
+		}
+	}
+	s := StepBandwidth{BeforeKbps: 100, AfterKbps: 900, StepAt: 3}.Series(6, rng)
+	if s[2] != 100 || s[3] != 900 {
+		t.Fatalf("step series %v", s)
+	}
+	ln := LogNormalAR{MeanKbps: 2000, Sigma: 0.3, Rho: 0.8}.Series(5000, rng)
+	for _, b := range ln {
+		if b <= 0 {
+			t.Fatal("lognormal bandwidth must be positive")
+		}
+	}
+	// Median of the log-normal is MeanKbps.
+	med := mathx.Median(ln)
+	if med < 1500 || med > 2700 {
+		t.Fatalf("lognormal median %g far from 2000", med)
+	}
+	if got := (LogNormalAR{MeanKbps: 1}).Series(0, rng); len(got) != 0 {
+		t.Fatal("zero-length series")
+	}
+}
+
+func TestPredictors(t *testing.T) {
+	if got := (LastSample{Prior: 7}).Predict(nil); got != 7 {
+		t.Fatalf("LastSample prior = %g", got)
+	}
+	if got := (LastSample{}).Predict([]float64{1, 2, 3}); got != 3 {
+		t.Fatalf("LastSample = %g", got)
+	}
+	hm := HarmonicMean{Window: 2, Prior: 9}
+	if got := hm.Predict(nil); got != 9 {
+		t.Fatalf("HarmonicMean prior = %g", got)
+	}
+	// Harmonic mean of 2 and 6 = 3.
+	if got := hm.Predict([]float64{100, 2, 6}); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("HarmonicMean = %g, want 3", got)
+	}
+	if got := hm.Predict([]float64{0, 5}); got != 9 {
+		t.Fatalf("HarmonicMean with zero obs should return prior, got %g", got)
+	}
+	// Default window.
+	hmd := HarmonicMean{Prior: 1}
+	if got := hmd.Predict([]float64{4, 4, 4, 4, 4, 4, 4}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("HarmonicMean default window = %g", got)
+	}
+	ew := EWMA{Alpha: 0.5, Prior: 2}
+	if got := ew.Predict(nil); got != 2 {
+		t.Fatalf("EWMA prior = %g", got)
+	}
+	if got := ew.Predict([]float64{4, 8}); got != 6 {
+		t.Fatalf("EWMA = %g, want 6", got)
+	}
+	// Invalid alpha falls back to 0.5.
+	bad := EWMA{Alpha: 7}
+	if got := bad.Predict([]float64{4, 8}); got != 6 {
+		t.Fatalf("EWMA fallback alpha = %g", got)
+	}
+}
+
+func TestSimulateSteadyState(t *testing.T) {
+	// Plenty of bandwidth: a fixed mid-level policy should never
+	// rebuffer after startup and keep the buffer at cap.
+	cfg := SessionConfig{
+		Ladder:    DefaultLadder(),
+		NumChunks: 50,
+	}
+	rng := mathx.NewRNG(2)
+	bw := ConstantBandwidth{Kbps: 10000}.Series(50, rng)
+	res, err := Simulate(cfg, FixedLevel{Level: 2}, bw, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRebufferSec > 0 {
+		t.Fatalf("unexpected rebuffering %g", res.TotalRebufferSec)
+	}
+	last := res.Outcomes[len(res.Outcomes)-1]
+	if last.BufferAfterSec != 30 {
+		t.Fatalf("buffer should cap at 30, got %g", last.BufferAfterSec)
+	}
+	if res.MeanChunkQoE() <= 0 {
+		t.Fatalf("QoE per chunk %g should be positive", res.MeanChunkQoE())
+	}
+}
+
+func TestSimulateRebuffersUnderStarvation(t *testing.T) {
+	cfg := SessionConfig{Ladder: DefaultLadder(), NumChunks: 20}
+	rng := mathx.NewRNG(3)
+	bw := ConstantBandwidth{Kbps: 300}.Series(20, rng) // below lowest rung
+	res, err := Simulate(cfg, FixedLevel{Level: 4}, bw, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalRebufferSec == 0 {
+		t.Fatal("starved session should rebuffer")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	cfg := SessionConfig{Ladder: DefaultLadder(), NumChunks: 10}
+	if _, err := Simulate(cfg, FixedLevel{}, make([]float64, 3), rng); err == nil {
+		t.Fatal("short bandwidth series should fail")
+	}
+	bad := SessionConfig{Ladder: Ladder{}, NumChunks: 10}
+	if _, err := Simulate(bad, FixedLevel{}, make([]float64, 10), rng); err == nil {
+		t.Fatal("bad ladder should fail")
+	}
+	neg := SessionConfig{Ladder: DefaultLadder()}
+	if _, err := Simulate(neg, FixedLevel{}, nil, rng); err == nil {
+		t.Fatal("zero chunks should fail")
+	}
+	badObs := SessionConfig{Ladder: DefaultLadder(), NumChunks: 5,
+		Observation: ObservationModel{Ladder: DefaultLadder(), PMin: 2}}
+	if _, err := Simulate(badObs, FixedLevel{}, make([]float64, 5), rng); err == nil {
+		t.Fatal("bad PMin should fail")
+	}
+}
+
+type badPolicy struct{}
+
+func (badPolicy) Next(State, Ladder, *mathx.RNG) int { return 99 }
+
+func TestSimulateRejectsBadPolicyChoice(t *testing.T) {
+	cfg := SessionConfig{Ladder: DefaultLadder(), NumChunks: 5}
+	rng := mathx.NewRNG(5)
+	if _, err := Simulate(cfg, badPolicy{}, make([]float64, 5), rng); err == nil {
+		t.Fatal("out-of-range level should fail")
+	}
+}
+
+func TestBBAPolicy(t *testing.T) {
+	l := DefaultLadder()
+	p := BBA{ReservoirSec: 5, CushionSec: 10}
+	if got := p.Greedy(State{BufferSec: 2}, l); got != 0 {
+		t.Fatalf("low buffer level = %d, want 0", got)
+	}
+	if got := p.Greedy(State{BufferSec: 20}, l); got != len(l)-1 {
+		t.Fatalf("high buffer level = %d, want top", got)
+	}
+	mid := p.Greedy(State{BufferSec: 10}, l)
+	if mid <= 0 || mid >= len(l)-1 {
+		t.Fatalf("mid buffer level = %d", mid)
+	}
+	// Defaults kick in when fields are zero.
+	d := BBA{}
+	if got := d.Greedy(State{BufferSec: 1}, l); got != 0 {
+		t.Fatalf("default reservoir: got %d", got)
+	}
+	// Probabilities form a distribution matching epsilon exploration.
+	e := BBA{ReservoirSec: 5, CushionSec: 10, Epsilon: 0.25}
+	probs := e.Probabilities(State{BufferSec: 2}, l)
+	sum := 0.0
+	for _, q := range probs {
+		sum += q
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	if math.Abs(probs[0]-(0.75+0.05)) > 1e-12 {
+		t.Fatalf("greedy prob = %g, want 0.8", probs[0])
+	}
+	// Sampling frequencies match probabilities.
+	rng := mathx.NewRNG(6)
+	count := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if e.Next(State{BufferSec: 2}, l, rng) == 0 {
+			count++
+		}
+	}
+	if f := float64(count) / n; math.Abs(f-0.8) > 0.02 {
+		t.Fatalf("sampled greedy frequency %g, want ~0.8", f)
+	}
+}
+
+func TestRateBasedPolicy(t *testing.T) {
+	l := DefaultLadder()
+	p := RateBased{Predictor: LastSample{Prior: 2000}, Safety: 1}
+	if got := p.Next(State{}, l, nil); got != 3 {
+		t.Fatalf("rate-based with est 2000 chose %d, want 3 (1850)", got)
+	}
+	// Default safety 0.85: 2000*0.85=1700 → level 2 (1200).
+	pd := RateBased{Predictor: LastSample{Prior: 2000}}
+	if got := pd.Next(State{}, l, nil); got != 2 {
+		t.Fatalf("default safety chose %d, want 2", got)
+	}
+}
+
+func TestMPCPrefersSustainableBitrate(t *testing.T) {
+	l := DefaultLadder()
+	mpc := MPC{Predictor: LastSample{Prior: 1300}, Horizon: 3, ChunkSec: 4}
+	// With est 1300 and a healthy buffer, MPC picks a mid level: the
+	// buffer can absorb slightly-slower-than-real-time downloads within
+	// the horizon, but the top rung would starve it.
+	got := mpc.Next(State{BufferSec: 15, LastLevel: 2}, l, nil)
+	if got != 2 && got != 3 {
+		t.Fatalf("MPC chose %d, want 2 or 3", got)
+	}
+	// With a tiny buffer and low estimate it must be conservative.
+	low := mpc.Next(State{BufferSec: 1, LastLevel: 0, Observed: []float64{300}}, l, nil)
+	if low != 0 {
+		t.Fatalf("MPC with starved buffer chose %d, want 0", low)
+	}
+	// Zero estimate degenerates to lowest.
+	z := MPC{Predictor: LastSample{Prior: 0}}
+	if got := z.Next(State{}, l, nil); got != 0 {
+		t.Fatalf("zero estimate chose %d", got)
+	}
+}
+
+func TestFixedLevelClamping(t *testing.T) {
+	l := DefaultLadder()
+	if got := (FixedLevel{Level: -3}).Next(State{}, l, nil); got != 0 {
+		t.Fatal("negative level should clamp to 0")
+	}
+	if got := (FixedLevel{Level: 99}).Next(State{}, l, nil); got != len(l)-1 {
+		t.Fatal("huge level should clamp to top")
+	}
+}
+
+func TestBBAClimbsWithBuffer(t *testing.T) {
+	// Integration: BBA over a generous link climbs the ladder as the
+	// buffer fills.
+	cfg := SessionConfig{Ladder: DefaultLadder(), NumChunks: 40}
+	rng := mathx.NewRNG(7)
+	bw := ConstantBandwidth{Kbps: 8000}.Series(40, rng)
+	res, err := Simulate(cfg, BBA{ReservoirSec: 5, CushionSec: 10}, bw, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.Outcomes[0].Level
+	last := res.Outcomes[len(res.Outcomes)-1].Level
+	if first != 0 {
+		t.Fatalf("BBA should start at 0, got %d", first)
+	}
+	if last != len(cfg.Ladder)-1 {
+		t.Fatalf("BBA should reach top with a full buffer, got %d", last)
+	}
+}

@@ -1,0 +1,137 @@
+package abr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"drnet/internal/mathx"
+)
+
+// FESTIVE is a FESTIVE-style rate policy [17]: rate-based selection with
+// a harmonic-mean predictor, gradual switching (at most one ladder rung
+// per chunk), and randomized chunk scheduling smoothing (modeled here as
+// a small exploration probability).
+type FESTIVE struct {
+	// Window is the harmonic-mean window (default 5).
+	Window int
+	// Safety discounts the throughput estimate (default 0.85).
+	Safety float64
+	// Epsilon randomizes the choice by one rung occasionally to break
+	// synchronization between competing players (default 0).
+	Epsilon float64
+}
+
+// Next implements ABRPolicy.
+func (p FESTIVE) Next(s State, l Ladder, rng *mathx.RNG) int {
+	window := p.Window
+	if window <= 0 {
+		window = 5
+	}
+	safety := p.Safety
+	if safety <= 0 {
+		safety = 0.85
+	}
+	est := HarmonicMean{Window: window, Prior: l[0]}.Predict(s.Observed)
+	target := l.HighestBelow(safety * est)
+	// Gradual switching: move at most one rung per chunk.
+	cur := s.LastLevel
+	if cur < 0 {
+		cur = 0
+	}
+	switch {
+	case target > cur:
+		target = cur + 1
+	case target < cur:
+		target = cur - 1
+	}
+	if target < 0 {
+		target = 0
+	}
+	if target >= len(l) {
+		target = len(l) - 1
+	}
+	if p.Epsilon > 0 && rng != nil && rng.Bernoulli(p.Epsilon) {
+		if rng.Bernoulli(0.5) && target+1 < len(l) {
+			target++
+		} else if target > 0 {
+			target--
+		}
+	}
+	return target
+}
+
+// ComparisonRow is one algorithm's outcome in a head-to-head comparison.
+type ComparisonRow struct {
+	Name string
+	// MeanQoE is the mean per-chunk QoE across sessions.
+	MeanQoE float64
+	// MeanRebufferSec is the mean total stall per session.
+	MeanRebufferSec float64
+	// MeanLevel is the average ladder index streamed.
+	MeanLevel float64
+	// Switches is the mean number of bitrate changes per session.
+	Switches float64
+}
+
+// Compare runs every named policy over the same bandwidth realizations —
+// the §2 use case "to compare multiple ABR algorithms under the same
+// network conditions" [31, 37, 42] — and returns per-algorithm summary
+// rows sorted by mean QoE (best first). sessions independent bandwidth
+// series are drawn from the process; every policy sees the same series.
+func Compare(cfg SessionConfig, policies map[string]ABRPolicy, process BandwidthProcess, sessions int, rng *mathx.RNG) ([]ComparisonRow, error) {
+	if len(policies) == 0 {
+		return nil, errors.New("abr: no policies to compare")
+	}
+	if sessions <= 0 {
+		return nil, errors.New("abr: need at least one session")
+	}
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	// Pre-draw the shared bandwidth series.
+	series := make([][]float64, sessions)
+	for i := range series {
+		series[i] = process.Series(cfg.NumChunks, rng)
+	}
+	names := make([]string, 0, len(policies))
+	for name := range policies {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic order (and RNG consumption)
+
+	rows := make([]ComparisonRow, 0, len(policies))
+	for _, name := range names {
+		policy := policies[name]
+		var qoe, rebuf, level, switches float64
+		for i := 0; i < sessions; i++ {
+			// Each policy gets its own RNG stream per session so a
+			// stochastic policy cannot perturb others.
+			prng := mathx.NewRNG(int64(i)*7919 + int64(len(name)))
+			res, err := Simulate(cfg, policy, series[i], prng)
+			if err != nil {
+				return nil, fmt.Errorf("abr: %s session %d: %w", name, i, err)
+			}
+			qoe += res.MeanChunkQoE()
+			rebuf += res.TotalRebufferSec
+			prev := -1
+			for _, out := range res.Outcomes {
+				level += float64(out.Level)
+				if prev >= 0 && out.Level != prev {
+					switches++
+				}
+				prev = out.Level
+			}
+		}
+		n := float64(sessions)
+		rows = append(rows, ComparisonRow{
+			Name:            name,
+			MeanQoE:         qoe / n,
+			MeanRebufferSec: rebuf / n,
+			MeanLevel:       level / n / float64(cfg.NumChunks),
+			Switches:        switches / n,
+		})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].MeanQoE > rows[j].MeanQoE })
+	return rows, nil
+}

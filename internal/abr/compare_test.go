@@ -1,0 +1,131 @@
+package abr
+
+import (
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestFESTIVEGradualSwitching(t *testing.T) {
+	l := DefaultLadder()
+	p := FESTIVE{Window: 3, Safety: 1}
+	// Huge estimate but currently at level 0: may climb only one rung.
+	got := p.Next(State{LastLevel: 0, Observed: []float64{99999}}, l, nil)
+	if got != 1 {
+		t.Fatalf("FESTIVE jumped to %d, want 1 (gradual)", got)
+	}
+	// Tiny estimate from level 4: may drop only one rung.
+	got = p.Next(State{LastLevel: 4, Observed: []float64{10}}, l, nil)
+	if got != 3 {
+		t.Fatalf("FESTIVE dropped to %d, want 3 (gradual)", got)
+	}
+	// First chunk (LastLevel -1) treated as level 0.
+	got = p.Next(State{LastLevel: -1, Observed: nil}, l, nil)
+	if got != 0 && got != 1 {
+		t.Fatalf("first-chunk choice %d", got)
+	}
+}
+
+func TestFESTIVEEpsilonNeedsRNG(t *testing.T) {
+	l := DefaultLadder()
+	p := FESTIVE{Epsilon: 1}
+	rng := mathx.NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		seen[p.Next(State{LastLevel: 2, Observed: []float64{1200}}, l, rng)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("epsilon exploration produced no variety: %v", seen)
+	}
+}
+
+func TestCompareRanksPoliciesSensibly(t *testing.T) {
+	cfg := SessionConfig{Ladder: DefaultLadder(), NumChunks: 60}
+	rng := mathx.NewRNG(2)
+	rows, err := Compare(cfg, map[string]ABRPolicy{
+		"bba":      BBA{ReservoirSec: 5, CushionSec: 10},
+		"mpc":      MPC{Predictor: HarmonicMean{Window: 5, Prior: 1000}},
+		"festive":  FESTIVE{},
+		"always-0": FixedLevel{Level: 0},
+		"always-4": FixedLevel{Level: 4},
+	}, LogNormalAR{MeanKbps: 2000, Sigma: 0.3, Rho: 0.8}, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Rows are sorted best-first.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MeanQoE > rows[i-1].MeanQoE {
+			t.Fatal("rows not sorted by QoE")
+		}
+	}
+	byName := map[string]ComparisonRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// The adaptive policies must beat pinning the lowest rung
+	// (always-0 has zero quality by construction).
+	if byName["mpc"].MeanQoE <= byName["always-0"].MeanQoE {
+		t.Fatal("MPC should beat always-lowest")
+	}
+	// always-4 at 2850 Kbps over a 2000 Kbps link must rebuffer more
+	// than BBA.
+	if byName["always-4"].MeanRebufferSec <= byName["bba"].MeanRebufferSec {
+		t.Fatalf("always-top rebuffer %g should exceed BBA %g",
+			byName["always-4"].MeanRebufferSec, byName["bba"].MeanRebufferSec)
+	}
+	// FESTIVE's gradual switching should switch no more than ~1 per
+	// chunk and yield fewer oscillations than always possible.
+	if byName["festive"].Switches > float64(cfg.NumChunks) {
+		t.Fatal("switch accounting broken")
+	}
+	// FixedLevel never switches.
+	if byName["always-4"].Switches != 0 {
+		t.Fatalf("FixedLevel switches = %g", byName["always-4"].Switches)
+	}
+}
+
+func TestCompareSameConditions(t *testing.T) {
+	// Determinism: comparing twice with the same seed gives identical
+	// rows.
+	cfg := SessionConfig{Ladder: DefaultLadder(), NumChunks: 30}
+	policies := map[string]ABRPolicy{
+		"bba": BBA{ReservoirSec: 5, CushionSec: 10},
+		"mpc": MPC{Predictor: HarmonicMean{Window: 5, Prior: 1000}},
+	}
+	a, err := Compare(cfg, policies, ConstantBandwidth{Kbps: 1500}, 5, mathx.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(cfg, policies, ConstantBandwidth{Kbps: 1500}, 5, mathx.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic comparison: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	cfg := SessionConfig{Ladder: DefaultLadder(), NumChunks: 10}
+	rng := mathx.NewRNG(4)
+	if _, err := Compare(cfg, nil, ConstantBandwidth{Kbps: 1}, 1, rng); err == nil {
+		t.Fatal("no policies should fail")
+	}
+	p := map[string]ABRPolicy{"x": FixedLevel{}}
+	if _, err := Compare(cfg, p, ConstantBandwidth{Kbps: 1}, 0, rng); err == nil {
+		t.Fatal("zero sessions should fail")
+	}
+	bad := SessionConfig{Ladder: Ladder{}, NumChunks: 10}
+	if _, err := Compare(bad, p, ConstantBandwidth{Kbps: 1}, 1, rng); err == nil {
+		t.Fatal("bad config should fail")
+	}
+	pBad := map[string]ABRPolicy{"bad": badPolicy{}}
+	if _, err := Compare(cfg, pBad, ConstantBandwidth{Kbps: 1000}, 1, rng); err == nil {
+		t.Fatal("policy error should propagate")
+	}
+}

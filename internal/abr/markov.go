@@ -1,0 +1,111 @@
+package abr
+
+import (
+	"math"
+)
+
+// MarkovPredictor is a CS2P-style state-based throughput predictor
+// (Sun et al., SIGCOMM 2016 — cited as [37] in the paper): observed
+// throughput is discretized into states, a first-order Markov
+// transition matrix is estimated from the session's history, and the
+// next chunk's throughput is predicted as the expected next-state
+// centre given the current state.
+//
+// Unlike the harmonic mean, a Markov predictor can anticipate
+// regime-switching bandwidth (e.g. Wi-Fi ↔ cellular handoffs): after it
+// has seen a few transitions, being in the "low" state predicts low
+// even if the recent window average is high. With too little history to
+// estimate transitions it falls back to the harmonic mean.
+type MarkovPredictor struct {
+	// States is the number of throughput bins (default 8).
+	States int
+	// MinKbps / MaxKbps bound the bin range; when zero they are taken
+	// from the observed history.
+	MinKbps, MaxKbps float64
+	// MinHistory is the fallback threshold (default 10 observations).
+	MinHistory int
+	// Prior is returned when there is no history at all.
+	Prior float64
+}
+
+// Predict implements Predictor.
+func (p MarkovPredictor) Predict(observed []float64) float64 {
+	states := p.States
+	if states < 2 {
+		states = 8
+	}
+	minHist := p.MinHistory
+	if minHist <= 0 {
+		minHist = 10
+	}
+	if len(observed) == 0 {
+		return p.Prior
+	}
+	if len(observed) < minHist {
+		return HarmonicMean{Window: minHist, Prior: p.Prior}.Predict(observed)
+	}
+	lo, hi := p.MinKbps, p.MaxKbps
+	if lo <= 0 || hi <= lo {
+		lo, hi = observed[0], observed[0]
+		for _, o := range observed {
+			if o < lo {
+				lo = o
+			}
+			if o > hi {
+				hi = o
+			}
+		}
+		if hi <= lo {
+			return observed[len(observed)-1] // constant history
+		}
+	}
+	// Bin in log space: throughput is multiplicative.
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	bin := func(v float64) int {
+		if v < lo {
+			v = lo
+		}
+		if v > hi {
+			v = hi
+		}
+		b := int(float64(states) * (math.Log(v) - logLo) / (logHi - logLo))
+		if b >= states {
+			b = states - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		return b
+	}
+	centre := make([]float64, states)
+	for s := 0; s < states; s++ {
+		frac := (float64(s) + 0.5) / float64(states)
+		centre[s] = math.Exp(logLo + frac*(logHi-logLo))
+	}
+	// Count transitions with Laplace smoothing toward self-transition.
+	counts := make([][]float64, states)
+	for s := range counts {
+		counts[s] = make([]float64, states)
+		counts[s][s] = 0.5 // sticky prior
+	}
+	for i := 1; i < len(observed); i++ {
+		counts[bin(observed[i-1])][bin(observed[i])]++
+	}
+	cur := bin(observed[len(observed)-1])
+	// Predict the harmonic expectation E[1/X]^-1 over the next-state
+	// distribution rather than the arithmetic mean: chunk download time
+	// is proportional to 1/throughput, so the harmonic aggregate is the
+	// one that makes a controller's time estimates unbiased — and it is
+	// conservative under regime mixtures, which matters because the QoE
+	// cost of overestimating (rebuffering) far exceeds the cost of
+	// underestimating (one rung lower quality).
+	total, invExp := 0.0, 0.0
+	for s, c := range counts[cur] {
+		total += c
+		invExp += c / centre[s]
+	}
+	if total == 0 || invExp == 0 {
+		return observed[len(observed)-1]
+	}
+	return total / invExp
+}

@@ -1,0 +1,114 @@
+package abr
+
+import (
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestMarkovPredictorFallbacks(t *testing.T) {
+	p := MarkovPredictor{Prior: 1000}
+	if got := p.Predict(nil); got != 1000 {
+		t.Fatalf("empty history: %g, want prior", got)
+	}
+	// Short history: harmonic-mean fallback.
+	short := []float64{800, 1200}
+	want := HarmonicMean{Window: 10, Prior: 1000}.Predict(short)
+	if got := p.Predict(short); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("short-history fallback %g, want %g", got, want)
+	}
+	// Constant history.
+	constHist := make([]float64, 30)
+	for i := range constHist {
+		constHist[i] = 700
+	}
+	if got := p.Predict(constHist); math.Abs(got-700) > 1e-9 {
+		t.Fatalf("constant history: %g, want 700", got)
+	}
+}
+
+// twoStateBandwidth builds a regime-switching history ending in the
+// low state.
+func twoStateBandwidth(rng *mathx.RNG, n int) []float64 {
+	out := make([]float64, n)
+	state := 0 // 0 = high (3000), 1 = low (500)
+	for i := range out {
+		if rng.Bernoulli(0.05) {
+			state = 1 - state
+		}
+		mean := 3000.0
+		if state == 1 {
+			mean = 500
+		}
+		out[i] = mean * math.Exp(rng.Normal(0, 0.05))
+	}
+	return out
+}
+
+func TestMarkovPredictorTracksRegime(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	// Build a history with clear regimes, forced to end LOW for at
+	// least 5 samples.
+	hist := twoStateBandwidth(rng, 200)
+	for i := 0; i < 5; i++ {
+		hist = append(hist, 500*math.Exp(rng.Normal(0, 0.05)))
+	}
+	p := MarkovPredictor{States: 6}
+	got := p.Predict(hist)
+	// The Markov prediction should stay near the low regime, far below
+	// the global mean (~1750 if regimes are balanced).
+	if got > 1200 {
+		t.Fatalf("Markov prediction %g should track the low regime (~500)", got)
+	}
+	// A wide-window harmonic mean is dragged toward the mixture.
+	hm := HarmonicMean{Window: 100}.Predict(hist)
+	if math.Abs(got-500) > math.Abs(hm-500) {
+		t.Fatalf("Markov (%g) should be closer to the regime than harmonic over a wide window (%g)", got, hm)
+	}
+}
+
+func TestMarkovPredictorAccuracyOnSwitchingProcess(t *testing.T) {
+	// One-step-ahead prediction error over a regime-switching series:
+	// Markov should beat the 20-sample harmonic mean.
+	rng := mathx.NewRNG(10)
+	series := twoStateBandwidth(rng, 800)
+	markov := MarkovPredictor{States: 6}
+	harmonic := HarmonicMean{Window: 20}
+	var mErr, hErr []float64
+	for i := 50; i < len(series); i++ {
+		hist := series[:i]
+		truth := series[i]
+		mErr = append(mErr, math.Abs(markov.Predict(hist)-truth))
+		hErr = append(hErr, math.Abs(harmonic.Predict(hist)-truth))
+	}
+	if mathx.Mean(mErr) >= mathx.Mean(hErr) {
+		t.Fatalf("Markov MAE %g should beat harmonic MAE %g on regime-switching bandwidth",
+			mathx.Mean(mErr), mathx.Mean(hErr))
+	}
+}
+
+func TestMarkovPredictorExplicitRange(t *testing.T) {
+	p := MarkovPredictor{States: 4, MinKbps: 100, MaxKbps: 1600, MinHistory: 2}
+	hist := []float64{200, 200, 200, 50, 99999} // outliers clamp into range
+	got := p.Predict(hist)
+	if got < 100 || got > 1600 {
+		t.Fatalf("prediction %g outside configured range", got)
+	}
+}
+
+func TestMarkovPredictorInMPC(t *testing.T) {
+	// Integration: MPC driven by the Markov predictor streams a
+	// regime-switching session without error.
+	cfg := SessionConfig{Ladder: DefaultLadder(), NumChunks: 120}
+	rng := mathx.NewRNG(11)
+	bw := twoStateBandwidth(rng, cfg.NumChunks)
+	mpc := MPC{Predictor: MarkovPredictor{States: 6, Prior: 1000}}
+	res, err := Simulate(cfg, mpc, bw, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != cfg.NumChunks {
+		t.Fatal("incomplete session")
+	}
+}

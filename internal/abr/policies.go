@@ -1,0 +1,172 @@
+package abr
+
+import (
+	"drnet/internal/mathx"
+)
+
+// BBA is the buffer-based policy of Huang et al. (the paper's "old ABR
+// policy"): below ReservoirSec it streams the lowest bitrate, above
+// ReservoirSec+CushionSec the highest, and in between it maps buffer
+// occupancy linearly onto the ladder. Epsilon adds uniform exploration,
+// which the logging policy needs for IPS/DR to be applicable (§4.1).
+type BBA struct {
+	ReservoirSec float64
+	CushionSec   float64
+	// Epsilon is the probability of choosing a uniformly random level
+	// instead of the buffer-mapped one.
+	Epsilon float64
+}
+
+// Greedy returns BBA's deterministic (pre-exploration) choice.
+func (p BBA) Greedy(s State, l Ladder) int {
+	reservoir := p.ReservoirSec
+	if reservoir <= 0 {
+		reservoir = 5
+	}
+	cushion := p.CushionSec
+	if cushion <= 0 {
+		cushion = 10
+	}
+	switch {
+	case s.BufferSec <= reservoir:
+		return 0
+	case s.BufferSec >= reservoir+cushion:
+		return len(l) - 1
+	default:
+		frac := (s.BufferSec - reservoir) / cushion
+		level := int(frac * float64(len(l)))
+		if level >= len(l) {
+			level = len(l) - 1
+		}
+		return level
+	}
+}
+
+// Next implements ABRPolicy.
+func (p BBA) Next(s State, l Ladder, rng *mathx.RNG) int {
+	if p.Epsilon > 0 && rng.Bernoulli(p.Epsilon) {
+		return rng.Intn(len(l))
+	}
+	return p.Greedy(s, l)
+}
+
+// Probabilities returns BBA's full decision distribution at a state —
+// its propensities, needed by IPS/DR.
+func (p BBA) Probabilities(s State, l Ladder) []float64 {
+	out := make([]float64, len(l))
+	share := p.Epsilon / float64(len(l))
+	for i := range out {
+		out[i] = share
+	}
+	out[p.Greedy(s, l)] += 1 - p.Epsilon
+	return out
+}
+
+// RateBased picks the highest bitrate below Safety × predicted
+// throughput (FESTIVE-style).
+type RateBased struct {
+	Predictor Predictor
+	// Safety discounts the prediction (default 0.85).
+	Safety float64
+}
+
+// Next implements ABRPolicy.
+func (p RateBased) Next(s State, l Ladder, _ *mathx.RNG) int {
+	safety := p.Safety
+	if safety <= 0 {
+		safety = 0.85
+	}
+	est := p.Predictor.Predict(s.Observed)
+	return l.HighestBelow(safety * est)
+}
+
+// MPC is a model-predictive ABR controller in the style of FastMPC: it
+// enumerates all bitrate sequences over a lookahead horizon, simulates
+// buffer evolution under the predicted throughput, and picks the first
+// step of the sequence maximizing the QoE objective.
+//
+// Crucially — and this is the bias the paper's Figure 2 illustrates —
+// MPC's internal model assumes the observed throughput is independent of
+// the chosen bitrate.
+type MPC struct {
+	Predictor Predictor
+	// Horizon is the lookahead depth in chunks (default 3).
+	Horizon int
+	// ChunkSec must match the session's chunk duration (default 4).
+	ChunkSec float64
+	// Weights are the QoE weights being optimized (default
+	// DefaultQoEWeights).
+	Weights QoEWeights
+}
+
+// Next implements ABRPolicy.
+func (p MPC) Next(s State, l Ladder, _ *mathx.RNG) int {
+	horizon := p.Horizon
+	if horizon <= 0 {
+		horizon = 3
+	}
+	chunkSec := p.ChunkSec
+	if chunkSec <= 0 {
+		chunkSec = 4
+	}
+	weights := p.Weights
+	if weights == (QoEWeights{}) {
+		weights = DefaultQoEWeights()
+	}
+	est := p.Predictor.Predict(s.Observed)
+	if est <= 0 {
+		return 0
+	}
+	bestFirst, bestScore := 0, negInf
+	seq := make([]int, horizon)
+	var search func(depth int, buffer float64, lastLevel int, score float64)
+	search = func(depth int, buffer float64, lastLevel int, score float64) {
+		if depth == horizon {
+			if score > bestScore {
+				bestScore = score
+				bestFirst = seq[0]
+			}
+			return
+		}
+		for level := 0; level < len(l); level++ {
+			seq[depth] = level
+			dl := l[level] * chunkSec / est
+			b := buffer
+			rebuf := 0.0
+			if dl > b {
+				rebuf = dl - b
+				b = 0
+			} else {
+				b -= dl
+			}
+			b += chunkSec
+			q := l.Quality(level)
+			gain := q - weights.RebufferPenalty*rebuf
+			if lastLevel >= 0 {
+				gain -= weights.SwitchPenalty * absf(q-l.Quality(lastLevel))
+			}
+			search(depth+1, b, level, score+gain)
+		}
+	}
+	search(0, s.BufferSec, s.LastLevel, 0)
+	return bestFirst
+}
+
+const negInf = -1e300
+
+// FixedLevel always streams one ladder level; useful as a degenerate
+// baseline and in tests.
+type FixedLevel struct {
+	Level int
+}
+
+// Next implements ABRPolicy.
+func (p FixedLevel) Next(_ State, l Ladder, _ *mathx.RNG) int {
+	if p.Level < 0 {
+		return 0
+	}
+	if p.Level >= len(l) {
+		return len(l) - 1
+	}
+	return p.Level
+}

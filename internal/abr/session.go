@@ -1,0 +1,138 @@
+package abr
+
+import (
+	"fmt"
+
+	"drnet/internal/mathx"
+)
+
+// State is what an ABR policy observes before choosing the next chunk's
+// bitrate.
+type State struct {
+	// ChunkIndex is the index of the chunk about to be requested.
+	ChunkIndex int
+	// BufferSec is the current playout buffer in seconds.
+	BufferSec float64
+	// LastLevel is the ladder index of the previous chunk (-1 for the
+	// first chunk).
+	LastLevel int
+	// Observed holds the observed download throughputs (Kbps) of all
+	// previous chunks, oldest first.
+	Observed []float64
+}
+
+// ABRPolicy chooses the next chunk's ladder level from the session
+// state. Implementations may be stochastic; they receive an RNG.
+type ABRPolicy interface {
+	Next(s State, l Ladder, rng *mathx.RNG) int
+}
+
+// SessionConfig describes one streaming session.
+type SessionConfig struct {
+	Ladder Ladder
+	// ChunkSec is the media duration of each chunk (default 4s).
+	ChunkSec float64
+	// NumChunks is the session length in chunks.
+	NumChunks int
+	// StartBufferSec is the initial buffer (default one chunk).
+	StartBufferSec float64
+	// MaxBufferSec caps the buffer (default 30s).
+	MaxBufferSec float64
+	// Observation maps (available bandwidth, level) to observed
+	// throughput. A zero PMin means "no bias": p ≡ 1.
+	Observation ObservationModel
+	// Weights are the QoE weights.
+	Weights QoEWeights
+}
+
+func (c *SessionConfig) defaults() error {
+	if err := c.Ladder.Validate(); err != nil {
+		return err
+	}
+	if c.ChunkSec <= 0 {
+		c.ChunkSec = 4
+	}
+	if c.NumChunks <= 0 {
+		return fmt.Errorf("abr: NumChunks must be positive, got %d", c.NumChunks)
+	}
+	if c.StartBufferSec <= 0 {
+		c.StartBufferSec = c.ChunkSec
+	}
+	if c.MaxBufferSec <= 0 {
+		c.MaxBufferSec = 30
+	}
+	if c.Observation.Ladder == nil {
+		c.Observation = ObservationModel{Ladder: c.Ladder, PMin: 1}
+	}
+	if c.Observation.PMin <= 0 || c.Observation.PMin > 1 {
+		return fmt.Errorf("abr: PMin %g out of (0,1]", c.Observation.PMin)
+	}
+	if c.Weights == (QoEWeights{}) {
+		c.Weights = DefaultQoEWeights()
+	}
+	return nil
+}
+
+// Simulate runs a full session: the policy picks each chunk's level, the
+// download experiences the observation model against the true bandwidth
+// series, and buffer/rebuffering evolve accordingly. It returns the
+// per-chunk outcomes and total QoE.
+//
+// This is the "real deployment" of Figure 1 for the ABR scenario: the
+// ground truth that trace-driven evaluators try to predict offline.
+func Simulate(cfg SessionConfig, policy ABRPolicy, bandwidthKbps []float64, rng *mathx.RNG) (SessionResult, error) {
+	if err := cfg.defaults(); err != nil {
+		return SessionResult{}, err
+	}
+	if len(bandwidthKbps) < cfg.NumChunks {
+		return SessionResult{}, errNoBandwidth
+	}
+	var res SessionResult
+	buffer := cfg.StartBufferSec
+	lastLevel := -1
+	observed := make([]float64, 0, cfg.NumChunks)
+	for k := 0; k < cfg.NumChunks; k++ {
+		state := State{ChunkIndex: k, BufferSec: buffer, LastLevel: lastLevel, Observed: observed}
+		level := policy.Next(state, cfg.Ladder, rng)
+		if level < 0 || level >= len(cfg.Ladder) {
+			return SessionResult{}, fmt.Errorf("abr: policy chose level %d outside ladder of %d", level, len(cfg.Ladder))
+		}
+		obs := cfg.Observation.Observe(bandwidthKbps[k], level)
+		chunkKbits := cfg.Ladder[level] * cfg.ChunkSec
+		dl := chunkKbits / obs
+		rebuf := 0.0
+		if dl > buffer {
+			rebuf = dl - buffer
+			buffer = 0
+		} else {
+			buffer -= dl
+		}
+		buffer += cfg.ChunkSec
+		if buffer > cfg.MaxBufferSec {
+			buffer = cfg.MaxBufferSec
+		}
+		res.Outcomes = append(res.Outcomes, ChunkOutcome{
+			Level:          level,
+			ObservedKbps:   obs,
+			DownloadSec:    dl,
+			RebufferSec:    rebuf,
+			BufferAfterSec: buffer,
+		})
+		res.TotalRebufferSec += rebuf
+		q := cfg.Ladder.Quality(level)
+		res.QoE += q - cfg.Weights.RebufferPenalty*rebuf
+		if lastLevel >= 0 {
+			res.QoE -= cfg.Weights.SwitchPenalty * absf(q-cfg.Ladder.Quality(lastLevel))
+		}
+		lastLevel = level
+		observed = append(observed, obs)
+	}
+	return res, nil
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

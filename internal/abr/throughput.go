@@ -1,0 +1,161 @@
+package abr
+
+import (
+	"errors"
+	"math"
+
+	"drnet/internal/mathx"
+)
+
+// BandwidthProcess generates the true available bandwidth (Kbps) for
+// each chunk slot of a session.
+type BandwidthProcess interface {
+	// Series returns n per-chunk available bandwidths.
+	Series(n int, rng *mathx.RNG) []float64
+}
+
+// ConstantBandwidth is the paper's Figure 7b setting: "the available
+// bandwidth is a constant b".
+type ConstantBandwidth struct {
+	Kbps float64
+}
+
+// Series implements BandwidthProcess.
+func (c ConstantBandwidth) Series(n int, _ *mathx.RNG) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = c.Kbps
+	}
+	return out
+}
+
+// LogNormalAR is a mean-reverting log-normal bandwidth process — a
+// standard synthetic stand-in for cellular/Wi-Fi throughput traces. The
+// log-bandwidth follows an AR(1) around log(MeanKbps).
+type LogNormalAR struct {
+	MeanKbps float64
+	// Sigma is the stationary standard deviation of log-bandwidth.
+	Sigma float64
+	// Rho is the AR(1) coefficient in [0, 1).
+	Rho float64
+}
+
+// Series implements BandwidthProcess.
+func (p LogNormalAR) Series(n int, rng *mathx.RNG) []float64 {
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	mu := math.Log(p.MeanKbps)
+	innov := p.Sigma
+	if p.Rho > 0 {
+		innov = p.Sigma * math.Sqrt(1-p.Rho*p.Rho)
+	}
+	x := rng.Normal(0, p.Sigma)
+	for i := range out {
+		out[i] = math.Exp(mu + x)
+		x = p.Rho*x + rng.Normal(0, innov)
+	}
+	return out
+}
+
+// StepBandwidth switches between two constant levels at a fixed chunk
+// index — useful for testing policy reactivity and change-point
+// scenarios.
+type StepBandwidth struct {
+	BeforeKbps, AfterKbps float64
+	StepAt                int
+}
+
+// Series implements BandwidthProcess.
+func (p StepBandwidth) Series(n int, _ *mathx.RNG) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i < p.StepAt {
+			out[i] = p.BeforeKbps
+		} else {
+			out[i] = p.AfterKbps
+		}
+	}
+	return out
+}
+
+// Predictor estimates the next chunk's throughput from the observed
+// download throughputs so far.
+type Predictor interface {
+	// Predict returns the throughput estimate (Kbps) given the history
+	// of observed throughputs, oldest first. It must handle an empty
+	// history (return a prior).
+	Predict(observed []float64) float64
+}
+
+// LastSample predicts the most recent observation (FESTIVE-style naive
+// predictor).
+type LastSample struct {
+	// Prior is returned when no observations exist.
+	Prior float64
+}
+
+// Predict implements Predictor.
+func (p LastSample) Predict(observed []float64) float64 {
+	if len(observed) == 0 {
+		return p.Prior
+	}
+	return observed[len(observed)-1]
+}
+
+// HarmonicMean predicts the harmonic mean of the last Window
+// observations — the FastMPC paper's throughput predictor, robust to
+// outliers on the high side.
+type HarmonicMean struct {
+	Window int
+	Prior  float64
+}
+
+// Predict implements Predictor.
+func (p HarmonicMean) Predict(observed []float64) float64 {
+	if len(observed) == 0 {
+		return p.Prior
+	}
+	w := p.Window
+	if w <= 0 {
+		w = 5
+	}
+	if w > len(observed) {
+		w = len(observed)
+	}
+	recent := observed[len(observed)-w:]
+	s := 0.0
+	for _, o := range recent {
+		if o <= 0 {
+			return p.Prior
+		}
+		s += 1 / o
+	}
+	return float64(len(recent)) / s
+}
+
+// EWMA predicts an exponentially weighted moving average with the given
+// smoothing factor Alpha in (0, 1].
+type EWMA struct {
+	Alpha float64
+	Prior float64
+}
+
+// Predict implements Predictor.
+func (p EWMA) Predict(observed []float64) float64 {
+	if len(observed) == 0 {
+		return p.Prior
+	}
+	alpha := p.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	est := observed[0]
+	for _, o := range observed[1:] {
+		est = alpha*o + (1-alpha)*est
+	}
+	return est
+}
+
+var errNoBandwidth = errors.New("abr: bandwidth series shorter than session")

@@ -1,0 +1,163 @@
+// Package bandit implements the online counterpart of trace-driven
+// evaluation: group-based exploration–exploitation in the style of
+// Pytheas [18], which the paper's introduction cites as the live
+// alternative to offline what-if analysis. Clients are bucketed into
+// groups (feature profiles); each group runs an independent bandit over
+// the decision set.
+//
+// The point of having this in the repository is experiment E11: an
+// operator can either *learn online* — paying regret while the bandit
+// explores — or *evaluate offline* with DR on logs they already have.
+// The experiment quantifies that trade.
+package bandit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"drnet/internal/mathx"
+)
+
+// Algorithm selects arms and absorbs observed rewards.
+type Algorithm interface {
+	// Select returns the arm to play given per-arm pull counts and
+	// reward sums for the current group.
+	Select(counts []int, sums []float64, totalPulls int, rng *mathx.RNG) int
+}
+
+// EpsilonGreedy explores uniformly with probability Epsilon and
+// exploits the empirically best arm otherwise.
+type EpsilonGreedy struct {
+	Epsilon float64
+}
+
+// Select implements Algorithm.
+func (a EpsilonGreedy) Select(counts []int, sums []float64, _ int, rng *mathx.RNG) int {
+	if rng.Bernoulli(a.Epsilon) {
+		return rng.Intn(len(counts))
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i := range counts {
+		v := math.Inf(1) // unexplored arms first
+		if counts[i] > 0 {
+			v = sums[i] / float64(counts[i])
+		}
+		if v > bestV {
+			bestV, best = v, i
+		}
+	}
+	return best
+}
+
+// UCB1 plays the arm with the highest upper confidence bound
+// (Auer et al.). C scales the exploration bonus (default √2).
+type UCB1 struct {
+	C float64
+}
+
+// Select implements Algorithm.
+func (a UCB1) Select(counts []int, sums []float64, totalPulls int, _ *mathx.RNG) int {
+	c := a.C
+	if c <= 0 {
+		c = math.Sqrt2
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i := range counts {
+		if counts[i] == 0 {
+			return i // play every arm once first
+		}
+		mean := sums[i] / float64(counts[i])
+		bonus := c * math.Sqrt(math.Log(float64(totalPulls+1))/float64(counts[i]))
+		if v := mean + bonus; v > bestV {
+			bestV, best = v, i
+		}
+	}
+	return best
+}
+
+// GroupBandit runs one bandit instance per client group.
+type GroupBandit[D comparable] struct {
+	decisions []D
+	algo      Algorithm
+	groups    map[string]*groupState
+}
+
+type groupState struct {
+	counts []int
+	sums   []float64
+	pulls  int
+}
+
+// New creates a group bandit over the decision set.
+func New[D comparable](decisions []D, algo Algorithm) (*GroupBandit[D], error) {
+	if len(decisions) < 2 {
+		return nil, errors.New("bandit: need at least two decisions")
+	}
+	if algo == nil {
+		return nil, errors.New("bandit: nil algorithm")
+	}
+	return &GroupBandit[D]{
+		decisions: append([]D(nil), decisions...),
+		algo:      algo,
+		groups:    make(map[string]*groupState),
+	}, nil
+}
+
+// Choose picks a decision for a client in the given group.
+func (b *GroupBandit[D]) Choose(group string, rng *mathx.RNG) D {
+	st := b.state(group)
+	return b.decisions[b.algo.Select(st.counts, st.sums, st.pulls, rng)]
+}
+
+// Observe feeds back the reward of a previously chosen decision.
+func (b *GroupBandit[D]) Observe(group string, d D, reward float64) error {
+	st := b.state(group)
+	for i, dec := range b.decisions {
+		if dec == d {
+			st.counts[i]++
+			st.sums[i] += reward
+			st.pulls++
+			return nil
+		}
+	}
+	return fmt.Errorf("bandit: unknown decision %v", d)
+}
+
+// Best returns the empirically best decision for a group (the
+// post-learning greedy policy), or false when the group is unseen.
+func (b *GroupBandit[D]) Best(group string) (D, bool) {
+	st, ok := b.groups[group]
+	var zero D
+	if !ok {
+		return zero, false
+	}
+	best, bestV := -1, math.Inf(-1)
+	for i := range st.counts {
+		if st.counts[i] == 0 {
+			continue
+		}
+		if v := st.sums[i] / float64(st.counts[i]); v > bestV {
+			bestV, best = v, i
+		}
+	}
+	if best < 0 {
+		return zero, false
+	}
+	return b.decisions[best], true
+}
+
+// Groups returns the number of groups seen so far.
+func (b *GroupBandit[D]) Groups() int { return len(b.groups) }
+
+func (b *GroupBandit[D]) state(group string) *groupState {
+	st, ok := b.groups[group]
+	if !ok {
+		st = &groupState{
+			counts: make([]int, len(b.decisions)),
+			sums:   make([]float64, len(b.decisions)),
+		}
+		b.groups[group] = st
+	}
+	return st
+}

@@ -1,0 +1,147 @@
+package bandit
+
+import (
+	"fmt"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]int{1}, UCB1{}); err == nil {
+		t.Fatal("one decision should fail")
+	}
+	if _, err := New[int]([]int{1, 2}, nil); err == nil {
+		t.Fatal("nil algorithm should fail")
+	}
+}
+
+// runBandit plays T rounds on a two-group world and returns the
+// fraction of optimal plays in the last quarter.
+func runBandit(t *testing.T, algo Algorithm, seed int64) float64 {
+	t.Helper()
+	b, err := New([]string{"a", "b", "c"}, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(seed)
+	// Group g0: arm a best; group g1: arm c best.
+	mean := map[string]map[string]float64{
+		"g0": {"a": 1.0, "b": 0.5, "c": 0.2},
+		"g1": {"a": 0.2, "b": 0.5, "c": 1.0},
+	}
+	bestArm := map[string]string{"g0": "a", "g1": "c"}
+	const T = 4000
+	optimal, lastQ := 0, 0
+	for i := 0; i < T; i++ {
+		g := "g0"
+		if rng.Bernoulli(0.5) {
+			g = "g1"
+		}
+		arm := b.Choose(g, rng)
+		r := mean[g][arm] + rng.Normal(0, 0.3)
+		if err := b.Observe(g, arm, r); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 3*T/4 {
+			lastQ++
+			if arm == bestArm[g] {
+				optimal++
+			}
+		}
+	}
+	if b.Groups() != 2 {
+		t.Fatalf("groups = %d", b.Groups())
+	}
+	for g, want := range bestArm {
+		got, ok := b.Best(g)
+		if !ok || got != want {
+			t.Fatalf("Best(%s) = %v (%v), want %s", g, got, ok, want)
+		}
+	}
+	return float64(optimal) / float64(lastQ)
+}
+
+func TestUCB1Converges(t *testing.T) {
+	if frac := runBandit(t, UCB1{}, 1); frac < 0.7 {
+		t.Fatalf("UCB1 optimal-play fraction %g too low", frac)
+	}
+}
+
+func TestEpsilonGreedyConverges(t *testing.T) {
+	if frac := runBandit(t, EpsilonGreedy{Epsilon: 0.1}, 2); frac < 0.7 {
+		t.Fatalf("ε-greedy optimal-play fraction %g too low", frac)
+	}
+}
+
+func TestUCB1PlaysEveryArmFirst(t *testing.T) {
+	b, _ := New([]int{0, 1, 2, 3}, UCB1{})
+	rng := mathx.NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 4; i++ {
+		arm := b.Choose("g", rng)
+		seen[arm] = true
+		if err := b.Observe("g", arm, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("UCB1 did not initialize all arms: %v", seen)
+	}
+}
+
+func TestObserveUnknownDecision(t *testing.T) {
+	b, _ := New([]int{0, 1}, UCB1{})
+	if err := b.Observe("g", 99, 1); err == nil {
+		t.Fatal("unknown decision should fail")
+	}
+}
+
+func TestBestUnseenGroup(t *testing.T) {
+	b, _ := New([]int{0, 1}, UCB1{})
+	if _, ok := b.Best("nope"); ok {
+		t.Fatal("unseen group should report not-ok")
+	}
+}
+
+func TestGroupsAreIndependent(t *testing.T) {
+	b, _ := New([]string{"x", "y"}, EpsilonGreedy{Epsilon: 0})
+	rng := mathx.NewRNG(4)
+	// Teach g0 that x is great and g1 that y is great.
+	for i := 0; i < 50; i++ {
+		mustObserve(t, b, "g0", "x", 1)
+		mustObserve(t, b, "g0", "y", 0)
+		mustObserve(t, b, "g1", "x", 0)
+		mustObserve(t, b, "g1", "y", 1)
+	}
+	if got := b.Choose("g0", rng); got != "x" {
+		t.Fatalf("g0 chose %s", got)
+	}
+	if got := b.Choose("g1", rng); got != "y" {
+		t.Fatalf("g1 chose %s", got)
+	}
+}
+
+func mustObserve(t *testing.T, b *GroupBandit[string], g, d string, r float64) {
+	t.Helper()
+	if err := b.Observe(g, d, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	seq := func(seed int64) string {
+		b, _ := New([]int{0, 1, 2}, EpsilonGreedy{Epsilon: 0.3})
+		rng := mathx.NewRNG(seed)
+		out := ""
+		for i := 0; i < 30; i++ {
+			arm := b.Choose("g", rng)
+			out += fmt.Sprint(arm)
+			_ = b.Observe("g", arm, float64(arm))
+		}
+		return out
+	}
+	if seq(7) != seq(7) {
+		t.Fatal("same seed produced different sequences")
+	}
+}

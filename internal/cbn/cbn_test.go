@@ -1,0 +1,349 @@
+package cbn
+
+import (
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func rainNetwork(t *testing.T) *Network {
+	t.Helper()
+	// Classic sprinkler: Rain → WetGrass ← Sprinkler, Rain → Sprinkler.
+	n, err := New([]Variable{
+		{Name: "Rain", Card: 2},
+		{Name: "Sprinkler", Card: 2},
+		{Name: "Wet", Card: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, n, 0, 1) // Rain → Sprinkler
+	mustEdge(t, n, 0, 2) // Rain → Wet
+	mustEdge(t, n, 1, 2) // Sprinkler → Wet
+	// P(Rain=1) = 0.2
+	setCPT(t, n, 0, 0, []float64{0.8, 0.2})
+	// P(Sprinkler | Rain): rain suppresses sprinkling.
+	setCPT(t, n, 1, 0, []float64{0.6, 0.4}) // rain=0
+	setCPT(t, n, 1, 1, []float64{0.99, 0.01})
+	// P(Wet | Rain, Sprinkler); rows ordered by parent indices asc
+	// (Rain, Sprinkler): (0,0),(0,1),(1,0),(1,1).
+	setCPT(t, n, 2, 0, []float64{1.0, 0.0})
+	setCPT(t, n, 2, 1, []float64{0.1, 0.9})
+	setCPT(t, n, 2, 2, []float64{0.2, 0.8})
+	setCPT(t, n, 2, 3, []float64{0.01, 0.99})
+	return n
+}
+
+func mustEdge(t *testing.T, n *Network, a, b int) {
+	t.Helper()
+	if err := n.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func setCPT(t *testing.T, n *Network, i, row int, probs []float64) {
+	t.Helper()
+	if err := n.SetCPT(i, row, probs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("expected error for no variables")
+	}
+	if _, err := New([]Variable{{Name: "x", Card: 1}}); err == nil {
+		t.Fatal("expected error for cardinality 1")
+	}
+	if _, err := New([]Variable{{Name: "x", Card: 2}, {Name: "x", Card: 2}}); err == nil {
+		t.Fatal("expected error for duplicate name")
+	}
+}
+
+func TestEdgeOperations(t *testing.T) {
+	n, _ := New([]Variable{{Name: "a", Card: 2}, {Name: "b", Card: 2}, {Name: "c", Card: 2}})
+	if err := n.AddEdge(0, 0); err == nil {
+		t.Fatal("self loop should fail")
+	}
+	if err := n.AddEdge(0, 9); err == nil {
+		t.Fatal("out of range should fail")
+	}
+	mustEdge(t, n, 0, 1)
+	if err := n.AddEdge(0, 1); err == nil {
+		t.Fatal("duplicate edge should fail")
+	}
+	mustEdge(t, n, 1, 2)
+	if err := n.AddEdge(2, 0); err == nil {
+		t.Fatal("cycle should be rejected")
+	}
+	if !n.HasEdge(0, 1) || n.HasEdge(1, 0) {
+		t.Fatal("HasEdge inconsistent")
+	}
+	if !n.RemoveEdge(0, 1) || n.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge inconsistent")
+	}
+	if n.Index("b") != 1 || n.Index("zzz") != -1 {
+		t.Fatal("Index broken")
+	}
+	if len(n.Vars()) != 3 {
+		t.Fatal("Vars broken")
+	}
+}
+
+func TestQueryMarginals(t *testing.T) {
+	n := rainNetwork(t)
+	// Marginal P(Rain).
+	post, err := n.Query(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post[1]-0.2) > 1e-12 {
+		t.Fatalf("P(Rain=1) = %g, want 0.2", post[1])
+	}
+	// P(Wet=1) by hand:
+	// P(S=1,R=0)=0.8*0.4=0.32 → wet 0.9; P(S=0,R=0)=0.48 → wet 0
+	// P(S=1,R=1)=0.2*0.01=0.002 → wet 0.99; P(S=0,R=1)=0.198 → wet 0.8
+	want := 0.32*0.9 + 0.48*0 + 0.002*0.99 + 0.198*0.8
+	post, err = n.Query(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post[1]-want) > 1e-9 {
+		t.Fatalf("P(Wet=1) = %g, want %g", post[1], want)
+	}
+}
+
+func TestQueryPosterior(t *testing.T) {
+	n := rainNetwork(t)
+	// P(Rain=1 | Wet=1) via Bayes on the joint computed in
+	// TestQueryMarginals: numerator 0.2*(0.01*0.99 + 0.99*0.8).
+	num := 0.2 * (0.01*0.99 + 0.99*0.8)
+	den := 0.32*0.9 + 0.002*0.99 + 0.198*0.8
+	post, err := n.Query(0, map[int]int{2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(post[1]-num/den) > 1e-9 {
+		t.Fatalf("P(Rain=1|Wet=1) = %g, want %g", post[1], num/den)
+	}
+	// Explaining away: knowing the sprinkler ran lowers P(rain|wet).
+	post2, err := n.Query(0, map[int]int{2: 1, 1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post2[1] >= post[1] {
+		t.Fatalf("explaining away violated: %g >= %g", post2[1], post[1])
+	}
+}
+
+func TestQueryEvidenceOnTarget(t *testing.T) {
+	n := rainNetwork(t)
+	post, err := n.Query(0, map[int]int{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post[1] != 1 || post[0] != 0 {
+		t.Fatalf("target-in-evidence posterior %v", post)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	n := rainNetwork(t)
+	if _, err := n.Query(9, nil); err == nil {
+		t.Fatal("bad target should fail")
+	}
+	if _, err := n.Query(0, map[int]int{9: 0}); err == nil {
+		t.Fatal("bad evidence variable should fail")
+	}
+	if _, err := n.Query(0, map[int]int{1: 7}); err == nil {
+		t.Fatal("bad evidence state should fail")
+	}
+	// Impossible evidence: make Wet=1 impossible by zeroing CPTs.
+	m, _ := New([]Variable{{Name: "a", Card: 2}, {Name: "b", Card: 2}})
+	setCPT(t, m, 1, 0, []float64{1, 0})
+	if _, err := m.Query(0, map[int]int{1: 1}); err == nil {
+		t.Fatal("zero-probability evidence should fail")
+	}
+}
+
+func TestExpectation(t *testing.T) {
+	n := rainNetwork(t)
+	// E[10·Wet] with no evidence.
+	want := 0.0
+	post, _ := n.Query(2, nil)
+	want = 10 * post[1]
+	got, err := n.Expectation(2, nil, []float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Expectation = %g, want %g", got, want)
+	}
+	if _, err := n.Expectation(2, nil, []float64{1}); err == nil {
+		t.Fatal("wrong state-value length should fail")
+	}
+}
+
+func TestSampleFitRoundTrip(t *testing.T) {
+	n := rainNetwork(t)
+	rng := mathx.NewRNG(42)
+	samples := make([][]int, 60000)
+	for i := range samples {
+		samples[i] = n.Sample(rng)
+	}
+	// Fit a fresh network with the same structure and compare CPTs.
+	m := rainNetwork(t)
+	if err := m.Fit(samples, 0); err != nil {
+		t.Fatal(err)
+	}
+	postN, _ := n.Query(2, map[int]int{0: 1})
+	postM, _ := m.Query(2, map[int]int{0: 1})
+	if math.Abs(postN[1]-postM[1]) > 0.02 {
+		t.Fatalf("refit posterior %g vs truth %g", postM[1], postN[1])
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	n := rainNetwork(t)
+	if err := n.Fit(nil, 1); err == nil {
+		t.Fatal("no samples should fail")
+	}
+	if err := n.Fit([][]int{{0, 0}}, 1); err == nil {
+		t.Fatal("short sample should fail")
+	}
+	if err := n.Fit([][]int{{0, 0, 5}}, 1); err == nil {
+		t.Fatal("out-of-range state should fail")
+	}
+	if err := n.Fit([][]int{{0, 0, 0}}, -1); err == nil {
+		t.Fatal("negative alpha should fail")
+	}
+}
+
+func TestSetCPTValidation(t *testing.T) {
+	n, _ := New([]Variable{{Name: "a", Card: 2}})
+	if err := n.SetCPT(0, 0, []float64{0.5}); err == nil {
+		t.Fatal("wrong length should fail")
+	}
+	if err := n.SetCPT(0, 5, []float64{0.5, 0.5}); err == nil {
+		t.Fatal("bad row should fail")
+	}
+	if err := n.SetCPT(0, 0, []float64{-0.1, 1.1}); err == nil {
+		t.Fatal("negative prob should fail")
+	}
+	if err := n.SetCPT(0, 0, []float64{0.2, 0.2}); err == nil {
+		t.Fatal("non-normalized should fail")
+	}
+}
+
+func TestLearnStructureRecoversDependence(t *testing.T) {
+	// Ground truth: X → Y strongly dependent, Z independent.
+	truth, _ := New([]Variable{
+		{Name: "X", Card: 2},
+		{Name: "Y", Card: 2},
+		{Name: "Z", Card: 2},
+	})
+	mustEdge(t, truth, 0, 1)
+	setCPT(t, truth, 0, 0, []float64{0.5, 0.5})
+	setCPT(t, truth, 1, 0, []float64{0.95, 0.05})
+	setCPT(t, truth, 1, 1, []float64{0.05, 0.95})
+	setCPT(t, truth, 2, 0, []float64{0.5, 0.5})
+
+	rng := mathx.NewRNG(7)
+	samples := make([][]int, 4000)
+	for i := range samples {
+		samples[i] = truth.Sample(rng)
+	}
+	learned, _ := New(truth.Vars())
+	if err := learned.LearnStructure(samples, LearnOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// X and Y must be adjacent (either orientation); Z isolated.
+	if !learned.HasEdge(0, 1) && !learned.HasEdge(1, 0) {
+		t.Fatal("learner missed the X–Y dependence")
+	}
+	for _, pair := range [][2]int{{0, 2}, {2, 0}, {1, 2}, {2, 1}} {
+		if learned.HasEdge(pair[0], pair[1]) {
+			t.Fatalf("learner added spurious edge %v", pair)
+		}
+	}
+}
+
+func TestLearnStructureForbidden(t *testing.T) {
+	truth, _ := New([]Variable{{Name: "X", Card: 2}, {Name: "Y", Card: 2}})
+	mustEdge(t, truth, 0, 1)
+	setCPT(t, truth, 0, 0, []float64{0.5, 0.5})
+	setCPT(t, truth, 1, 0, []float64{0.9, 0.1})
+	setCPT(t, truth, 1, 1, []float64{0.1, 0.9})
+	rng := mathx.NewRNG(8)
+	samples := make([][]int, 2000)
+	for i := range samples {
+		samples[i] = truth.Sample(rng)
+	}
+	learned, _ := New(truth.Vars())
+	err := learned.LearnStructure(samples, LearnOptions{
+		Forbidden: [][2]int{{0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned.HasEdge(0, 1) {
+		t.Fatal("forbidden edge was added")
+	}
+	// The reverse should be found instead (same likelihood class).
+	if !learned.HasEdge(1, 0) {
+		t.Fatal("expected the reverse orientation")
+	}
+}
+
+func TestLearnStructureErrors(t *testing.T) {
+	n, _ := New([]Variable{{Name: "a", Card: 2}})
+	if err := n.LearnStructure(nil, LearnOptions{}); err == nil {
+		t.Fatal("no samples should fail")
+	}
+	if _, err := n.BIC(nil); err == nil {
+		t.Fatal("BIC with no samples should fail")
+	}
+}
+
+func TestBICPenalizesComplexity(t *testing.T) {
+	// Independent variables: adding an edge should lower BIC.
+	rng := mathx.NewRNG(9)
+	samples := make([][]int, 1000)
+	for i := range samples {
+		samples[i] = []int{rng.Intn(2), rng.Intn(2)}
+	}
+	indep, _ := New([]Variable{{Name: "a", Card: 2}, {Name: "b", Card: 2}})
+	s0, err := indep.BIC(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, indep, 0, 1)
+	s1, err := indep.BIC(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 >= s0 {
+		t.Fatalf("BIC should penalize the spurious edge: %g >= %g", s1, s0)
+	}
+}
+
+func TestLogLikelihoodImprovesWithFit(t *testing.T) {
+	n := rainNetwork(t)
+	rng := mathx.NewRNG(10)
+	samples := make([][]int, 3000)
+	for i := range samples {
+		samples[i] = n.Sample(rng)
+	}
+	fresh := rainNetwork(t)
+	// Perturb CPTs badly.
+	setCPT(t, fresh, 0, 0, []float64{0.01, 0.99})
+	before := fresh.LogLikelihood(samples)
+	if err := fresh.Fit(samples, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := fresh.LogLikelihood(samples)
+	if after <= before {
+		t.Fatalf("fit should improve likelihood: %g <= %g", after, before)
+	}
+}

@@ -1,0 +1,273 @@
+package cbn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// factor is a table over a subset of variables used by variable
+// elimination.
+type factor struct {
+	vars   []int // network variable indices, ascending
+	card   []int
+	values []float64
+}
+
+func (n *Network) cptFactor(i int) factor {
+	vars := append(append([]int(nil), n.parents[i]...), i)
+	sort.Ints(vars)
+	card := make([]int, len(vars))
+	for k, v := range vars {
+		card[k] = n.vars[v].Card
+	}
+	f := factor{vars: vars, card: card, values: make([]float64, size(card))}
+	// Enumerate all assignments of f's scope and fill from the CPT.
+	assign := make([]int, len(vars))
+	full := make([]int, len(n.vars))
+	for idx := range f.values {
+		decode(idx, card, assign)
+		for k, v := range vars {
+			full[v] = assign[k]
+		}
+		row := n.parentConfigIndex(i, full)
+		f.values[idx] = n.cpt[i][row*n.vars[i].Card+full[i]]
+	}
+	return f
+}
+
+func size(card []int) int {
+	s := 1
+	for _, c := range card {
+		s *= c
+	}
+	return s
+}
+
+// decode writes the mixed-radix digits of idx into out (most significant
+// digit first, matching encode).
+func decode(idx int, card []int, out []int) {
+	for k := len(card) - 1; k >= 0; k-- {
+		out[k] = idx % card[k]
+		idx /= card[k]
+	}
+}
+
+func encode(assign, card []int) int {
+	idx := 0
+	for k := range card {
+		idx = idx*card[k] + assign[k]
+	}
+	return idx
+}
+
+// multiply returns the factor product a·b.
+func multiply(a, b factor) factor {
+	// Union of scopes.
+	varSet := make(map[int]bool)
+	for _, v := range a.vars {
+		varSet[v] = true
+	}
+	for _, v := range b.vars {
+		varSet[v] = true
+	}
+	vars := make([]int, 0, len(varSet))
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	// Cardinalities.
+	cardOf := make(map[int]int)
+	for k, v := range a.vars {
+		cardOf[v] = a.card[k]
+	}
+	for k, v := range b.vars {
+		cardOf[v] = b.card[k]
+	}
+	card := make([]int, len(vars))
+	for k, v := range vars {
+		card[k] = cardOf[v]
+	}
+	out := factor{vars: vars, card: card, values: make([]float64, size(card))}
+	assign := make([]int, len(vars))
+	pos := make(map[int]int, len(vars))
+	for k, v := range vars {
+		pos[v] = k
+	}
+	aAssign := make([]int, len(a.vars))
+	bAssign := make([]int, len(b.vars))
+	for idx := range out.values {
+		decode(idx, card, assign)
+		for k, v := range a.vars {
+			aAssign[k] = assign[pos[v]]
+		}
+		for k, v := range b.vars {
+			bAssign[k] = assign[pos[v]]
+		}
+		out.values[idx] = a.values[encode(aAssign, a.card)] * b.values[encode(bAssign, b.card)]
+	}
+	return out
+}
+
+// sumOut marginalizes variable v out of f.
+func sumOut(f factor, v int) factor {
+	k := -1
+	for i, fv := range f.vars {
+		if fv == v {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return f
+	}
+	vars := append(append([]int(nil), f.vars[:k]...), f.vars[k+1:]...)
+	card := append(append([]int(nil), f.card[:k]...), f.card[k+1:]...)
+	out := factor{vars: vars, card: card, values: make([]float64, size(card))}
+	assign := make([]int, len(f.vars))
+	outAssign := make([]int, len(vars))
+	for idx, val := range f.values {
+		decode(idx, f.card, assign)
+		copy(outAssign, assign[:k])
+		copy(outAssign[k:], assign[k+1:])
+		out.values[encode(outAssign, card)] += val
+	}
+	return out
+}
+
+// reduce fixes variable v to state s in f (unnormalized slice).
+func reduce(f factor, v, s int) factor {
+	k := -1
+	for i, fv := range f.vars {
+		if fv == v {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return f
+	}
+	vars := append(append([]int(nil), f.vars[:k]...), f.vars[k+1:]...)
+	card := append(append([]int(nil), f.card[:k]...), f.card[k+1:]...)
+	out := factor{vars: vars, card: card, values: make([]float64, size(card))}
+	assign := make([]int, len(f.vars))
+	outAssign := make([]int, len(vars))
+	for idx, val := range f.values {
+		decode(idx, f.card, assign)
+		if assign[k] != s {
+			continue
+		}
+		copy(outAssign, assign[:k])
+		copy(outAssign[k:], assign[k+1:])
+		out.values[encode(outAssign, card)] = val
+	}
+	return out
+}
+
+// Query computes the posterior distribution P(target | evidence) by
+// variable elimination. evidence maps variable index → observed state.
+// It returns an error when the evidence has probability zero.
+func (n *Network) Query(target int, evidence map[int]int) ([]float64, error) {
+	if target < 0 || target >= len(n.vars) {
+		return nil, fmt.Errorf("cbn: target %d out of range", target)
+	}
+	for v, s := range evidence {
+		if v < 0 || v >= len(n.vars) {
+			return nil, fmt.Errorf("cbn: evidence variable %d out of range", v)
+		}
+		if s < 0 || s >= n.vars[v].Card {
+			return nil, fmt.Errorf("cbn: evidence state %d out of range for %q", s, n.vars[v].Name)
+		}
+	}
+	// Build factors, reducing by evidence immediately.
+	factors := make([]factor, 0, len(n.vars))
+	for i := range n.vars {
+		f := n.cptFactor(i)
+		for v, s := range evidence {
+			f = reduce(f, v, s)
+		}
+		factors = append(factors, f)
+	}
+	// Eliminate all hidden variables (not target, not evidence) in
+	// index order (fine for the small graphs used here).
+	for v := range n.vars {
+		if v == target {
+			continue
+		}
+		if _, isEv := evidence[v]; isEv {
+			continue
+		}
+		var joined *factor
+		rest := factors[:0]
+		for _, f := range factors {
+			involved := false
+			for _, fv := range f.vars {
+				if fv == v {
+					involved = true
+					break
+				}
+			}
+			if involved {
+				if joined == nil {
+					cp := f
+					joined = &cp
+				} else {
+					j := multiply(*joined, f)
+					joined = &j
+				}
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		factors = rest
+		if joined != nil {
+			factors = append(factors, sumOut(*joined, v))
+		}
+	}
+	// Multiply the remainder; everything left is over {target} or empty.
+	result := factor{vars: nil, card: nil, values: []float64{1}}
+	for _, f := range factors {
+		result = multiply(result, f)
+	}
+	if len(result.vars) != 1 || result.vars[0] != target {
+		// Target was part of evidence or got eliminated (shouldn't
+		// happen); handle target-in-evidence gracefully.
+		if s, ok := evidence[target]; ok {
+			out := make([]float64, n.vars[target].Card)
+			out[s] = 1
+			return out, nil
+		}
+		return nil, errors.New("cbn: internal elimination error")
+	}
+	total := 0.0
+	for _, v := range result.values {
+		total += v
+	}
+	if total <= 0 {
+		return nil, errors.New("cbn: evidence has probability zero")
+	}
+	out := make([]float64, len(result.values))
+	for i, v := range result.values {
+		out[i] = v / total
+	}
+	return out, nil
+}
+
+// Expectation returns E[g(target state) | evidence]: the posterior
+// expectation of a numeric mapping of the target's states. This is how
+// a WISE-style evaluator turns a discretized response-time node into a
+// scalar reward prediction.
+func (n *Network) Expectation(target int, evidence map[int]int, stateValue []float64) (float64, error) {
+	if len(stateValue) != n.vars[target].Card {
+		return 0, fmt.Errorf("cbn: got %d state values, want %d", len(stateValue), n.vars[target].Card)
+	}
+	post, err := n.Query(target, evidence)
+	if err != nil {
+		return 0, err
+	}
+	e := 0.0
+	for s, p := range post {
+		e += p * stateValue[s]
+	}
+	return e, nil
+}

@@ -1,0 +1,124 @@
+package cbn
+
+import (
+	"errors"
+	"math"
+)
+
+// BIC returns the Bayesian Information Criterion score of the current
+// structure on the samples (higher is better): log-likelihood of the
+// ML-fitted CPTs minus (log n / 2) · #free-parameters.
+func (n *Network) BIC(samples [][]int) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("cbn: no samples")
+	}
+	if err := n.Fit(samples, 0); err != nil {
+		return 0, err
+	}
+	ll := n.LogLikelihood(samples)
+	params := 0
+	for i := range n.vars {
+		params += n.parentConfigs(i) * (n.vars[i].Card - 1)
+	}
+	return ll - 0.5*math.Log(float64(len(samples)))*float64(params), nil
+}
+
+// LearnOptions configures LearnStructure.
+type LearnOptions struct {
+	// MaxParents caps each node's in-degree (default 3).
+	MaxParents int
+	// MaxIters bounds hill-climbing rounds (default 100).
+	MaxIters int
+	// Forbidden lists edges (parent, child) the search may not add —
+	// domain knowledge such as "response time cannot cause ISP".
+	Forbidden [][2]int
+}
+
+// LearnStructure performs greedy hill climbing over edge additions,
+// removals, and reversals, scored by BIC. The network's current
+// structure is the starting point; on return the network holds the best
+// structure found with ML-fitted CPTs (smoothed with alpha=1).
+//
+// This mirrors how WISE-style systems induce a causal structure from an
+// observational trace — and therefore also inherits their failure mode:
+// with skewed or scarce data the learned structure can omit true edges
+// (Figure 4's "inferred CBN"), which is exactly the bias Figure 7a
+// measures.
+func (n *Network) LearnStructure(samples [][]int, opts LearnOptions) error {
+	if len(samples) == 0 {
+		return errors.New("cbn: no samples")
+	}
+	if opts.MaxParents <= 0 {
+		opts.MaxParents = 3
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 100
+	}
+	forbidden := make(map[[2]int]bool, len(opts.Forbidden))
+	for _, e := range opts.Forbidden {
+		forbidden[e] = true
+	}
+	best, err := n.BIC(samples)
+	if err != nil {
+		return err
+	}
+	for iter := 0; iter < opts.MaxIters; iter++ {
+		improved := false
+		tryMove := func(apply func() bool, undo func()) {
+			if !apply() {
+				return
+			}
+			score, err := n.BIC(samples)
+			if err == nil && score > best+1e-9 {
+				best = score
+				improved = true
+				return
+			}
+			undo()
+		}
+		for a := 0; a < len(n.vars); a++ {
+			for b := 0; b < len(n.vars); b++ {
+				if a == b {
+					continue
+				}
+				switch {
+				case n.HasEdge(a, b):
+					// Try removal.
+					tryMove(
+						func() bool { return n.RemoveEdge(a, b) },
+						func() { _ = n.AddEdge(a, b) },
+					)
+					// Try reversal (if still present and allowed).
+					if n.HasEdge(a, b) && !forbidden[[2]int{b, a}] && len(n.parents[a]) < opts.MaxParents {
+						tryMove(
+							func() bool {
+								if !n.RemoveEdge(a, b) {
+									return false
+								}
+								if err := n.AddEdge(b, a); err != nil {
+									_ = n.AddEdge(a, b)
+									return false
+								}
+								return true
+							},
+							func() {
+								n.RemoveEdge(b, a)
+								_ = n.AddEdge(a, b)
+							},
+						)
+					}
+				case !forbidden[[2]int{a, b}] && len(n.parents[b]) < opts.MaxParents:
+					// Try addition.
+					tryMove(
+						func() bool { return n.AddEdge(a, b) == nil },
+						func() { n.RemoveEdge(a, b) },
+					)
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return n.Fit(samples, 1)
+}

@@ -1,0 +1,212 @@
+// Package changepoint implements offline change-point detection on
+// univariate series: PELT (Killick, Fearnhead, Eckley 2012 — cited as
+// [23] in the paper) and binary segmentation, with penalized Gaussian
+// cost functions in the spirit of Lavielle's penalized contrasts [26].
+//
+// The paper's §4.3 proposes change-point detection to discover when a
+// policy's own decisions have shifted the network state ("self-inflicted
+// state changes"), so that the DR estimator can be applied only within
+// matching state segments.
+package changepoint
+
+import (
+	"errors"
+	"math"
+)
+
+// CostFunc returns the cost of modelling xs[lo:hi] (hi exclusive) as one
+// homogeneous segment. Lower is better. Implementations must be
+// non-negative-ish and satisfy cost(a,c) >= cost(a,b)+cost(b,c) up to
+// the penalty (subadditivity), which the Gaussian costs do.
+type CostFunc func(lo, hi int) float64
+
+// MeanCost returns a CostFunc for a Gaussian mean-shift model with
+// (assumed) constant variance: the within-segment sum of squared
+// deviations from the segment mean. O(1) per query via prefix sums.
+func MeanCost(xs []float64) CostFunc {
+	n := len(xs)
+	sum := make([]float64, n+1)
+	sumSq := make([]float64, n+1)
+	for i, x := range xs {
+		sum[i+1] = sum[i] + x
+		sumSq[i+1] = sumSq[i] + x*x
+	}
+	return func(lo, hi int) float64 {
+		m := float64(hi - lo)
+		if m <= 0 {
+			return 0
+		}
+		s := sum[hi] - sum[lo]
+		return (sumSq[hi] - sumSq[lo]) - s*s/m
+	}
+}
+
+// MeanVarCost returns a CostFunc for a Gaussian model where both mean
+// and variance may shift: the segment's negative maximized
+// log-likelihood, m·log(σ̂²) (up to constants).
+func MeanVarCost(xs []float64) CostFunc {
+	base := MeanCost(xs)
+	return func(lo, hi int) float64 {
+		m := float64(hi - lo)
+		if m <= 0 {
+			return 0
+		}
+		v := base(lo, hi) / m
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		return m * math.Log(v)
+	}
+}
+
+// BICPenalty returns the standard BIC-style penalty for a series of
+// length n: β = c·log n. Use c=2 with MeanCost (one mean parameter plus
+// the change point itself is the usual convention); larger c yields
+// fewer change points.
+func BICPenalty(n int, c float64) float64 {
+	if c <= 0 {
+		c = 2
+	}
+	return c * math.Log(float64(n))
+}
+
+// PELT finds the optimal segmentation of the series underlying cost,
+// minimizing Σ segment costs + β·(#changepoints), via the PELT dynamic
+// program with pruning. n is the series length and minSize the minimum
+// segment length (≥ 1). It returns the sorted change-point indices: a
+// change point at index t means a new segment starts at t.
+func PELT(n int, cost CostFunc, beta float64, minSize int) ([]int, error) {
+	if n <= 0 {
+		return nil, errors.New("changepoint: empty series")
+	}
+	if beta < 0 {
+		return nil, errors.New("changepoint: negative penalty")
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if n < 2*minSize {
+		return nil, nil // nothing to split
+	}
+	const inf = math.MaxFloat64 / 4
+	f := make([]float64, n+1) // f[t]: optimal cost of xs[:t]
+	prev := make([]int, n+1)  // prev[t]: last change point before t
+	f[0] = -beta
+	for t := 1; t <= n; t++ {
+		f[t] = inf
+		prev[t] = 0
+	}
+	candidates := []int{0}
+	for t := minSize; t <= n; t++ {
+		bestVal, bestTau := inf, 0
+		for _, tau := range candidates {
+			if t-tau < minSize {
+				continue
+			}
+			v := f[tau] + cost(tau, t) + beta
+			if v < bestVal {
+				bestVal, bestTau = v, tau
+			}
+		}
+		f[t] = bestVal
+		prev[t] = bestTau
+		// Prune candidates that can never win again (PELT inequality
+		// with K=0 for subadditive costs).
+		kept := candidates[:0]
+		for _, tau := range candidates {
+			if t-tau < minSize || f[tau]+cost(tau, t) <= f[t] {
+				kept = append(kept, tau)
+			}
+		}
+		candidates = append(kept, t-minSize+1)
+	}
+	// Backtrack.
+	var cps []int
+	for t := n; t > 0; {
+		tau := prev[t]
+		if tau > 0 {
+			cps = append(cps, tau)
+		}
+		t = tau
+	}
+	// Reverse into ascending order.
+	for i, j := 0, len(cps)-1; i < j; i, j = i+1, j-1 {
+		cps[i], cps[j] = cps[j], cps[i]
+	}
+	return cps, nil
+}
+
+// BinarySegmentation recursively splits the series at the single best
+// change point while the cost reduction exceeds beta. It is faster but
+// only approximately optimal; provided as a baseline against PELT.
+func BinarySegmentation(n int, cost CostFunc, beta float64, minSize int) ([]int, error) {
+	if n <= 0 {
+		return nil, errors.New("changepoint: empty series")
+	}
+	if beta < 0 {
+		return nil, errors.New("changepoint: negative penalty")
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	var cps []int
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2*minSize {
+			return
+		}
+		whole := cost(lo, hi)
+		bestGain, bestT := 0.0, -1
+		for t := lo + minSize; t <= hi-minSize; t++ {
+			gain := whole - cost(lo, t) - cost(t, hi)
+			if gain > bestGain {
+				bestGain, bestT = gain, t
+			}
+		}
+		if bestT < 0 || bestGain <= beta {
+			return
+		}
+		split(lo, bestT)
+		cps = append(cps, bestT)
+		split(bestT, hi)
+	}
+	split(0, n)
+	return cps, nil
+}
+
+// Segments converts change points into [lo, hi) segment bounds for a
+// series of length n.
+func Segments(n int, cps []int) [][2]int {
+	out := make([][2]int, 0, len(cps)+1)
+	lo := 0
+	for _, cp := range cps {
+		out = append(out, [2]int{lo, cp})
+		lo = cp
+	}
+	out = append(out, [2]int{lo, n})
+	return out
+}
+
+// Labels assigns each index its segment number given change points.
+func Labels(n int, cps []int) []int {
+	out := make([]int, n)
+	seg := 0
+	next := n
+	if len(cps) > 0 {
+		next = cps[0]
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for i >= next {
+			seg++
+			k++
+			if k < len(cps) {
+				next = cps[k]
+			} else {
+				next = n
+			}
+		}
+		out[i] = seg
+	}
+	return out
+}

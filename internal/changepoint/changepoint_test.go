@@ -1,0 +1,230 @@
+package changepoint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"drnet/internal/mathx"
+)
+
+// stepSeries builds a series with mean shifts at the given change
+// points.
+func stepSeries(rng *mathx.RNG, n int, cps []int, means []float64, sigma float64) []float64 {
+	xs := make([]float64, n)
+	seg := 0
+	for i := 0; i < n; i++ {
+		if seg < len(cps) && i >= cps[seg] {
+			seg++
+		}
+		xs[i] = rng.Normal(means[seg], sigma)
+	}
+	return xs
+}
+
+func within(t *testing.T, got []int, want []int, tol int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("found %d change points %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		d := got[i] - want[i]
+		if d < -tol || d > tol {
+			t.Fatalf("change point %d at %d, want %d ± %d", i, got[i], want[i], tol)
+		}
+	}
+}
+
+func TestPELTSingleShift(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	xs := stepSeries(rng, 400, []int{200}, []float64{0, 4}, 1)
+	cps, err := PELT(len(xs), MeanCost(xs), BICPenalty(len(xs), 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, cps, []int{200}, 4)
+}
+
+func TestPELTMultipleShifts(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	want := []int{150, 300, 450}
+	xs := stepSeries(rng, 600, want, []float64{0, 5, -3, 2}, 1)
+	cps, err := PELT(len(xs), MeanCost(xs), BICPenalty(len(xs), 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, cps, want, 4)
+}
+
+func TestPELTNoShift(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	xs := stepSeries(rng, 300, nil, []float64{1}, 1)
+	cps, err := PELT(len(xs), MeanCost(xs), BICPenalty(len(xs), 3), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 0 {
+		t.Fatalf("spurious change points %v on a homogeneous series", cps)
+	}
+}
+
+func TestPELTVarianceShift(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	xs := make([]float64, 600)
+	for i := range xs {
+		sigma := 0.5
+		if i >= 300 {
+			sigma = 4
+		}
+		xs[i] = rng.Normal(0, sigma)
+	}
+	cps, err := PELT(len(xs), MeanVarCost(xs), BICPenalty(len(xs), 4), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, cps, []int{300}, 15)
+}
+
+func TestPELTErrorsAndEdgeCases(t *testing.T) {
+	xs := []float64{1, 2}
+	if _, err := PELT(0, MeanCost(xs), 1, 1); err == nil {
+		t.Fatal("empty series should fail")
+	}
+	if _, err := PELT(2, MeanCost(xs), -1, 1); err == nil {
+		t.Fatal("negative penalty should fail")
+	}
+	cps, err := PELT(2, MeanCost(xs), 1, 5)
+	if err != nil || len(cps) != 0 {
+		t.Fatalf("too-short series: cps=%v err=%v", cps, err)
+	}
+}
+
+func TestBinarySegmentationSingleShift(t *testing.T) {
+	rng := mathx.NewRNG(5)
+	xs := stepSeries(rng, 400, []int{170}, []float64{0, 3}, 1)
+	cps, err := BinarySegmentation(len(xs), MeanCost(xs), BICPenalty(len(xs), 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, cps, []int{170}, 5)
+}
+
+func TestBinarySegmentationMatchesPELTOnCleanData(t *testing.T) {
+	rng := mathx.NewRNG(6)
+	want := []int{100, 200}
+	xs := stepSeries(rng, 300, want, []float64{0, 6, 0}, 0.5)
+	pelt, err := PELT(len(xs), MeanCost(xs), BICPenalty(len(xs), 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := BinarySegmentation(len(xs), MeanCost(xs), BICPenalty(len(xs), 2), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, pelt, want, 3)
+	within(t, bs, want, 3)
+}
+
+func TestBinarySegmentationErrors(t *testing.T) {
+	if _, err := BinarySegmentation(0, MeanCost(nil), 1, 1); err == nil {
+		t.Fatal("empty series should fail")
+	}
+	if _, err := BinarySegmentation(5, MeanCost(make([]float64, 5)), -1, 1); err == nil {
+		t.Fatal("negative penalty should fail")
+	}
+}
+
+func TestSegmentsAndLabels(t *testing.T) {
+	segs := Segments(10, []int{3, 7})
+	want := [][2]int{{0, 3}, {3, 7}, {7, 10}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("segment %d = %v, want %v", i, segs[i], want[i])
+		}
+	}
+	labels := Labels(10, []int{3, 7})
+	wantLabels := []int{0, 0, 0, 1, 1, 1, 1, 2, 2, 2}
+	for i := range wantLabels {
+		if labels[i] != wantLabels[i] {
+			t.Fatalf("labels = %v", labels)
+		}
+	}
+	// No change points: one segment, all zeros.
+	if got := Labels(3, nil); got[0] != 0 || got[2] != 0 {
+		t.Fatalf("labels with no cps = %v", got)
+	}
+	if got := Segments(3, nil); len(got) != 1 || got[0] != [2]int{0, 3} {
+		t.Fatalf("segments with no cps = %v", got)
+	}
+}
+
+func TestMeanCostPrefixSums(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cost := MeanCost(xs)
+	// Whole series: mean 2.5, SSE = 2.25+0.25+0.25+2.25 = 5.
+	if got := cost(0, 4); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("cost(0,4) = %g, want 5", got)
+	}
+	if got := cost(1, 3); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("cost(1,3) = %g, want 0.5", got)
+	}
+	if got := cost(2, 2); got != 0 {
+		t.Fatalf("empty segment cost = %g", got)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+// Property: segmentation cost of PELT's result never exceeds the
+// unsegmented cost plus penalties, and all change points are valid
+// indices respecting minSize.
+func TestPELTValidityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := mathx.NewRNG(seed)
+		n := 40 + rng.Intn(200)
+		xs := make([]float64, n)
+		mean := 0.0
+		for i := range xs {
+			if rng.Float64() < 0.02 {
+				mean += rng.Normal(0, 5)
+			}
+			xs[i] = rng.Normal(mean, 1)
+		}
+		minSize := 1 + rng.Intn(5)
+		cost := MeanCost(xs)
+		beta := BICPenalty(n, 2)
+		cps, err := PELT(n, cost, beta, minSize)
+		if err != nil {
+			return false
+		}
+		last := 0
+		for _, cp := range cps {
+			if cp <= 0 || cp >= n || cp-last < minSize {
+				return false
+			}
+			last = cp
+		}
+		if n-last < minSize && len(cps) > 0 {
+			return false
+		}
+		// Total segmented cost + penalties must not exceed the
+		// single-segment cost (optimality sanity check).
+		total := 0.0
+		for _, seg := range Segments(n, cps) {
+			total += cost(seg[0], seg[1])
+		}
+		total += beta * float64(len(cps))
+		return total <= cost(0, n)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

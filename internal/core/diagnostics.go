@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"drnet/internal/mathx"
+)
+
+// Diagnostics summarizes how well a trace supports evaluating a target
+// policy — the paper's "coverage and randomness" concern (§4.1) made
+// quantitative. Compute it before trusting any IPS/DR estimate.
+type Diagnostics struct {
+	// N is the trace length.
+	N int
+	// ESS is the effective sample size of the importance weights.
+	// ESS ≪ N means a few records dominate the estimate.
+	ESS float64
+	// MatchRate is the fraction of records whose logged decision is the
+	// modal decision of the new policy — the coverage available to
+	// matching (CFA-style) evaluators.
+	MatchRate float64
+	// MeanWeight is the average importance weight; it should be close
+	// to 1 when propensities are calibrated.
+	MeanWeight float64
+	// MaxWeight is the largest importance weight.
+	MaxWeight float64
+	// ZeroSupport counts records where the new policy puts zero
+	// probability on the logged decision (they contribute nothing to
+	// IPS/DR corrections).
+	ZeroSupport int
+	// MinPropensity is the smallest logged propensity.
+	MinPropensity float64
+}
+
+// String renders the diagnostics for operator consumption.
+func (d Diagnostics) String() string {
+	return fmt.Sprintf(
+		"n=%d ess=%.1f match=%.1f%% w̄=%.3f wmax=%.1f zero-support=%d min-propensity=%.4f",
+		d.N, d.ESS, 100*d.MatchRate, d.MeanWeight, d.MaxWeight, d.ZeroSupport, d.MinPropensity)
+}
+
+// Diagnose computes overlap diagnostics between the trace's logging
+// policy and a target policy.
+func Diagnose[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D]) (Diagnostics, error) {
+	if len(t) == 0 {
+		return Diagnostics{}, ErrEmptyTrace
+	}
+	if err := t.Validate(); err != nil {
+		return Diagnostics{}, err
+	}
+	d := Diagnostics{N: len(t), MinPropensity: t[0].Propensity}
+	weights := make([]float64, len(t))
+	matches := 0
+	for i, rec := range t {
+		dist := newPolicy.Distribution(rec.Context)
+		var pNew float64
+		for _, w := range dist {
+			if w.Decision == rec.Decision {
+				pNew = w.Prob
+			}
+		}
+		w := pNew / rec.Propensity
+		weights[i] = w
+		if w == 0 {
+			d.ZeroSupport++
+		}
+		if w > d.MaxWeight {
+			d.MaxWeight = w
+		}
+		if argmax(dist) == rec.Decision {
+			matches++
+		}
+		if rec.Propensity < d.MinPropensity {
+			d.MinPropensity = rec.Propensity
+		}
+	}
+	d.ESS = mathx.EffectiveSampleSize(weights)
+	d.MatchRate = float64(matches) / float64(len(t))
+	d.MeanWeight = mathx.Mean(weights)
+	return d, nil
+}
+
+// Estimator is any function mapping a trace to an Estimate; Bootstrap
+// uses it to produce resampling confidence intervals for DM/IPS/DR
+// uniformly.
+type Estimator[C any, D comparable] func(Trace[C, D]) (Estimate, error)
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+	Level  float64
+}
+
+// Bootstrap computes a percentile bootstrap confidence interval for an
+// estimator by resampling trace records with replacement b times.
+// Resamples on which the estimator fails (e.g. no matched records) are
+// skipped; if every resample fails, the last error is returned.
+func Bootstrap[C any, D comparable](t Trace[C, D], est Estimator[C, D], rng *mathx.RNG, b int, level float64) (Interval, error) {
+	if len(t) == 0 {
+		return Interval{}, ErrEmptyTrace
+	}
+	if b <= 0 {
+		b = 200
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("core: confidence level %g out of (0,1)", level)
+	}
+	var values []float64
+	var lastErr error
+	resample := make(Trace[C, D], len(t))
+	for i := 0; i < b; i++ {
+		for j := range resample {
+			resample[j] = t[rng.Intn(len(t))]
+		}
+		e, err := est(resample)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		values = append(values, e.Value)
+	}
+	if len(values) == 0 {
+		return Interval{}, fmt.Errorf("core: all bootstrap resamples failed: %w", lastErr)
+	}
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    mathx.Quantile(values, alpha),
+		Hi:    mathx.Quantile(values, 1-alpha),
+		Level: level,
+	}, nil
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"drnet/internal/mathx"
+)
+
+// Estimate is the result of an off-policy estimator: a point estimate of
+// the expected per-client reward of the new policy, plus plug-in
+// uncertainty and weight diagnostics.
+type Estimate struct {
+	// Value is the estimated expected reward V̂(µ_new).
+	Value float64
+	// StdErr is the plug-in standard error: the sample standard
+	// deviation of per-record contributions divided by √n.
+	StdErr float64
+	// N is the number of trace records used.
+	N int
+	// ESS is Kish's effective sample size of the importance weights
+	// (equals N for DM, which uses no weights).
+	ESS float64
+	// MaxWeight is the largest importance weight encountered (zero for
+	// DM). Large values flag poor overlap between old and new policy.
+	MaxWeight float64
+}
+
+// String renders the estimate compactly.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d, ess=%.1f)", e.Value, e.StdErr, e.N, e.ESS)
+}
+
+func summarizeContributions(contrib []float64) Estimate {
+	n := len(contrib)
+	est := Estimate{Value: mathx.Mean(contrib), N: n}
+	if n > 1 {
+		est.StdErr = mathx.StdDev(contrib) / math.Sqrt(float64(n))
+	}
+	est.ESS = float64(n)
+	return est
+}
+
+// DirectMethod estimates V(µ_new) with a reward model only (the paper's
+// DM): V̂_DM = (1/n) Σ_k Σ_d µ_new(d|c_k) · r̂(c_k, d).
+//
+// DM has no variance problems — it uses every record and no importance
+// weights — but inherits every bias of the reward model (§2.2.1).
+func DirectMethod[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D]) (Estimate, error) {
+	if len(t) == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	contrib := make([]float64, len(t))
+	for i, rec := range t {
+		dist := newPolicy.Distribution(rec.Context)
+		if err := ValidateDistribution(dist); err != nil {
+			return Estimate{}, fmt.Errorf("record %d: %w", i, err)
+		}
+		v := 0.0
+		for _, w := range dist {
+			if w.Prob == 0 {
+				continue
+			}
+			v += w.Prob * model.Predict(rec.Context, w.Decision)
+		}
+		contrib[i] = v
+	}
+	return summarizeContributions(contrib), nil
+}
+
+// IPSOptions tunes the inverse-propensity-score estimator.
+type IPSOptions struct {
+	// Clip, when positive, caps each importance weight at this value
+	// (truncated IPS). Clipping trades bias for variance, which matters
+	// exactly in the paper's low-randomness regime (§4.1).
+	Clip float64
+	// SelfNormalize divides by the sum of weights instead of n (the
+	// SNIPS estimator), removing sensitivity to the weight scale at the
+	// cost of O(1/n) bias.
+	SelfNormalize bool
+}
+
+// IPS estimates V(µ_new) by importance-weighting observed rewards (the
+// paper's model-free estimator):
+//
+//	V̂_IPS = (1/n) Σ_k [µ_new(d_k|c_k)/µ_old(d_k|c_k)] · r_k.
+//
+// It is unbiased whenever propensities are correct and positive wherever
+// µ_new is, but its variance explodes when the old policy rarely takes
+// decisions the new policy favours (§2.2.2).
+func IPS[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], opts IPSOptions) (Estimate, error) {
+	if len(t) == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	if err := t.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	weights := make([]float64, len(t))
+	contrib := make([]float64, len(t))
+	maxW := 0.0
+	for i, rec := range t {
+		w := Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
+		if opts.Clip > 0 && w > opts.Clip {
+			w = opts.Clip
+		}
+		weights[i] = w
+		contrib[i] = w * rec.Reward
+		if w > maxW {
+			maxW = w
+		}
+	}
+	var est Estimate
+	if opts.SelfNormalize {
+		est.Value = mathx.WeightedMean(t.Rewards(), weights)
+		// Plug-in stderr via the linearized influence function of SNIPS.
+		n := float64(len(t))
+		wbar := mathx.Mean(weights)
+		if wbar > 0 {
+			infl := make([]float64, len(t))
+			for i := range t {
+				infl[i] = weights[i] * (t[i].Reward - est.Value) / wbar
+			}
+			est.StdErr = mathx.StdDev(infl) / math.Sqrt(n)
+		}
+		est.N = len(t)
+	} else {
+		est = summarizeContributions(contrib)
+	}
+	est.ESS = mathx.EffectiveSampleSize(weights)
+	est.MaxWeight = maxW
+	return est, nil
+}
+
+// DROptions tunes the doubly robust estimator.
+type DROptions struct {
+	// Clip, when positive, caps importance weights as in IPSOptions.
+	Clip float64
+	// SelfNormalize normalizes the correction term by the sum of
+	// weights (the SNDR / weighted DR estimator).
+	SelfNormalize bool
+}
+
+// DoublyRobust estimates V(µ_new) by combining the reward model with an
+// importance-weighted correction using observed rewards (the paper's
+// Eq. 2):
+//
+//	V̂_DR = (1/n) Σ_k [ Σ_d µ_new(d|c_k) r̂(c_k,d)
+//	                   + w_k · (r_k − r̂(c_k,d_k)) ],
+//	w_k = µ_new(d_k|c_k)/µ_old(d_k|c_k).
+//
+// DR is accurate when either the reward model or the propensities are
+// accurate ("double robustness"), and its error is bounded by roughly
+// the product of the two ingredient errors ("second-order bias").
+func DoublyRobust[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts DROptions) (Estimate, error) {
+	if len(t) == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	if err := t.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	n := len(t)
+	dmPart := make([]float64, n)
+	weights := make([]float64, n)
+	resid := make([]float64, n)
+	maxW := 0.0
+	for i, rec := range t {
+		dist := newPolicy.Distribution(rec.Context)
+		if err := ValidateDistribution(dist); err != nil {
+			return Estimate{}, fmt.Errorf("record %d: %w", i, err)
+		}
+		dm := 0.0
+		for _, w := range dist {
+			if w.Prob == 0 {
+				continue
+			}
+			dm += w.Prob * model.Predict(rec.Context, w.Decision)
+		}
+		dmPart[i] = dm
+		w := Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
+		if opts.Clip > 0 && w > opts.Clip {
+			w = opts.Clip
+		}
+		weights[i] = w
+		resid[i] = rec.Reward - model.Predict(rec.Context, rec.Decision)
+		if w > maxW {
+			maxW = w
+		}
+	}
+
+	contrib := make([]float64, n)
+	if opts.SelfNormalize {
+		sumW := 0.0
+		for _, w := range weights {
+			sumW += w
+		}
+		norm := float64(n)
+		if sumW > 0 {
+			norm = sumW
+		}
+		for i := range contrib {
+			contrib[i] = dmPart[i] + float64(n)/norm*weights[i]*resid[i]
+		}
+	} else {
+		for i := range contrib {
+			contrib[i] = dmPart[i] + weights[i]*resid[i]
+		}
+	}
+	est := summarizeContributions(contrib)
+	est.ESS = mathx.EffectiveSampleSize(weights)
+	est.MaxWeight = maxW
+	return est, nil
+}
+
+// MatchedRewards estimates V(µ_new) by exact decision matching: it
+// averages observed rewards over records whose logged decision would be
+// the (deterministic, highest-probability) choice of the new policy.
+// This is the CFA-style evaluator of Figure 5 — unbiased under a
+// randomized old policy but starved of data as the decision space grows.
+// It returns the number of matched records in Estimate.N. When no record
+// matches, it returns ErrNoMatches.
+func MatchedRewards[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D]) (Estimate, error) {
+	if len(t) == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	var matched []float64
+	for _, rec := range t {
+		if argmax(newPolicy.Distribution(rec.Context)) == rec.Decision {
+			matched = append(matched, rec.Reward)
+		}
+	}
+	if len(matched) == 0 {
+		return Estimate{}, ErrNoMatches
+	}
+	est := summarizeContributions(matched)
+	return est, nil
+}
+
+// ErrNoMatches is returned by MatchedRewards when the new policy agrees
+// with the logged decision on zero records.
+var ErrNoMatches = fmt.Errorf("core: no records match the new policy's decisions")
+
+func argmax[D comparable](dist []Weighted[D]) D {
+	best := dist[0]
+	for _, w := range dist[1:] {
+		if w.Prob > best.Prob {
+			best = w
+		}
+	}
+	return best.Decision
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestDeterministicPolicy(t *testing.T) {
+	p := DeterministicPolicy[int, string]{Choose: func(c int) string {
+		if c > 0 {
+			return "up"
+		}
+		return "down"
+	}}
+	dist := p.Distribution(5)
+	if len(dist) != 1 || dist[0].Decision != "up" || dist[0].Prob != 1 {
+		t.Fatalf("bad distribution %v", dist)
+	}
+	if Prob[int, string](p, -1, "down") != 1 {
+		t.Fatal("Prob should be 1 on the chosen decision")
+	}
+	if Prob[int, string](p, -1, "up") != 0 {
+		t.Fatal("Prob should be 0 off-support")
+	}
+}
+
+func TestUniformPolicy(t *testing.T) {
+	p := UniformPolicy[int, int]{Decisions: []int{1, 2, 3, 4}}
+	dist := p.Distribution(0)
+	if err := ValidateDistribution(dist); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range dist {
+		if w.Prob != 0.25 {
+			t.Fatalf("prob = %g, want 0.25", w.Prob)
+		}
+	}
+}
+
+func TestEpsilonGreedyPolicy(t *testing.T) {
+	p := EpsilonGreedyPolicy[int, int]{
+		Base:      func(int) int { return 2 },
+		Decisions: []int{1, 2, 3},
+		Epsilon:   0.3,
+	}
+	dist := p.Distribution(0)
+	if err := ValidateDistribution(dist); err != nil {
+		t.Fatal(err)
+	}
+	if got := Prob[int, int](p, 0, 2); !almostEqual(got, 0.7+0.1, 1e-12) {
+		t.Fatalf("greedy prob = %g, want 0.8", got)
+	}
+	if got := Prob[int, int](p, 0, 1); !almostEqual(got, 0.1, 1e-12) {
+		t.Fatalf("explore prob = %g, want 0.1", got)
+	}
+}
+
+func TestEpsilonGreedyBaseOutsideDecisions(t *testing.T) {
+	p := EpsilonGreedyPolicy[int, int]{
+		Base:      func(int) int { return 99 },
+		Decisions: []int{1, 2},
+		Epsilon:   0.2,
+	}
+	dist := p.Distribution(0)
+	if err := ValidateDistribution(dist); err != nil {
+		t.Fatal(err)
+	}
+	if got := Prob[int, int](p, 0, 99); !almostEqual(got, 0.8, 1e-12) {
+		t.Fatalf("outside base prob = %g, want 0.8", got)
+	}
+}
+
+func TestMixturePolicy(t *testing.T) {
+	a := DeterministicPolicy[int, int]{Choose: func(int) int { return 1 }}
+	b := DeterministicPolicy[int, int]{Choose: func(int) int { return 2 }}
+	m := MixturePolicy[int, int]{A: a, B: b, Alpha: 0.3}
+	dist := m.Distribution(0)
+	if err := ValidateDistribution(dist); err != nil {
+		t.Fatal(err)
+	}
+	if got := Prob[int, int](m, 0, 1); !almostEqual(got, 0.3, 1e-12) {
+		t.Fatalf("P(1) = %g, want 0.3", got)
+	}
+	if got := Prob[int, int](m, 0, 2); !almostEqual(got, 0.7, 1e-12) {
+		t.Fatalf("P(2) = %g, want 0.7", got)
+	}
+}
+
+func TestMixturePolicyOverlappingSupport(t *testing.T) {
+	u := UniformPolicy[int, int]{Decisions: []int{1, 2}}
+	m := MixturePolicy[int, int]{A: u, B: u, Alpha: 0.5}
+	dist := m.Distribution(0)
+	if len(dist) != 2 {
+		t.Fatalf("overlapping support should merge, got %v", dist)
+	}
+	if err := ValidateDistribution(dist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleRespectsDistribution(t *testing.T) {
+	rng := mathx.NewRNG(13)
+	p := EpsilonGreedyPolicy[int, int]{
+		Base:      func(int) int { return 0 },
+		Decisions: []int{0, 1},
+		Epsilon:   0.5,
+	}
+	count := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if Sample[int, int](p, 0, rng) == 0 {
+			count++
+		}
+	}
+	if got := float64(count) / n; math.Abs(got-0.75) > 0.02 {
+		t.Fatalf("sampled frequency %g, want ~0.75", got)
+	}
+}
+
+func TestValidateDistribution(t *testing.T) {
+	if err := ValidateDistribution([]Weighted[int]{}); err == nil {
+		t.Fatal("empty distribution should fail")
+	}
+	if err := ValidateDistribution([]Weighted[int]{{0, -0.1}, {1, 1.1}}); err == nil {
+		t.Fatal("negative probability should fail")
+	}
+	if err := ValidateDistribution([]Weighted[int]{{0, 0.2}}); err == nil {
+		t.Fatal("non-normalized distribution should fail")
+	}
+	if err := ValidateDistribution([]Weighted[int]{{0, 0.5}, {1, 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuncPolicy(t *testing.T) {
+	f := FuncPolicy[int, int](func(c int) []Weighted[int] {
+		return []Weighted[int]{{Decision: c * 2, Prob: 1}}
+	})
+	if got := f.Distribution(3)[0].Decision; got != 6 {
+		t.Fatalf("got %d, want 6", got)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

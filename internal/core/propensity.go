@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+)
+
+// AttachPropensities fills each record's Propensity from a known old
+// policy. It returns an error if the old policy assigns zero probability
+// to a logged decision, which would make the trace inconsistent with the
+// claimed logging policy.
+func AttachPropensities[C any, D comparable](t Trace[C, D], oldPolicy Policy[C, D]) error {
+	for i := range t {
+		p := Prob(oldPolicy, t[i].Context, t[i].Decision)
+		if p <= 0 {
+			return fmt.Errorf("core: record %d: old policy assigns probability 0 to logged decision %v", i, t[i].Decision)
+		}
+		t[i].Propensity = p
+	}
+	return nil
+}
+
+// EstimatePropensities estimates µ_old(d|c) from the trace itself by
+// empirical frequencies within groups of contexts that share key(c).
+// This covers the practical case the paper notes ("in practice, it may
+// be necessary to estimate this probability from the trace").
+//
+// minCount guards against degenerate groups: groups with fewer records
+// fall back to the marginal decision frequencies. Estimated propensities
+// are floored at floor to keep importance weights finite.
+func EstimatePropensities[C any, D comparable](t Trace[C, D], key func(c C) string, minCount int, floor float64) error {
+	if floor <= 0 {
+		floor = 1e-4
+	}
+	if minCount < 1 {
+		minCount = 1
+	}
+	type group struct {
+		total  int
+		counts map[D]int
+	}
+	groups := make(map[string]*group)
+	marginal := &group{counts: make(map[D]int)}
+	for _, rec := range t {
+		k := key(rec.Context)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{counts: make(map[D]int)}
+			groups[k] = g
+		}
+		g.counts[rec.Decision]++
+		g.total++
+		marginal.counts[rec.Decision]++
+		marginal.total++
+	}
+	if marginal.total == 0 {
+		return ErrEmptyTrace
+	}
+	for i := range t {
+		g := groups[key(t[i].Context)]
+		if g.total < minCount {
+			g = marginal
+		}
+		p := float64(g.counts[t[i].Decision]) / float64(g.total)
+		if p < floor {
+			p = floor
+		}
+		if p > 1 {
+			p = 1
+		}
+		t[i].Propensity = p
+	}
+	return nil
+}

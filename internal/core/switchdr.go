@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"drnet/internal/mathx"
+)
+
+// SwitchOptions configures SwitchDR.
+type SwitchOptions struct {
+	// Tau is the importance-weight threshold: records whose weight
+	// exceeds Tau contribute through the reward model alone; the rest
+	// keep the full DR correction. Tau <= 0 selects a data-driven
+	// default (the 95th percentile of the weights, at least 1).
+	Tau float64
+}
+
+// SwitchDR is the SWITCH estimator of Wang, Agarwal & Dudík (2017)
+// adapted to the DR form: a per-record interpolation between DR (where
+// importance weights are moderate, so the correction is trustworthy)
+// and the pure Direct Method (where weights explode, so the correction
+// would inject more variance than the model's bias costs).
+//
+// Compared with hard clipping (DROptions.Clip), switching drops the
+// partially-corrected term entirely above the threshold instead of
+// keeping a truncated — and therefore systematically understated —
+// correction. On traces logged by nearly deterministic policies (§4.1's
+// regime) this is often the better bias/variance point; the ablation
+// bench BenchmarkAblationSwitchVsClip compares the two.
+func SwitchDR[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts SwitchOptions) (Estimate, error) {
+	if len(t) == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	if err := t.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	n := len(t)
+	weights := make([]float64, n)
+	for i, rec := range t {
+		weights[i] = Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
+	}
+	tau := opts.Tau
+	if tau <= 0 {
+		tau = math.Max(1, mathx.Quantile(weights, 0.95))
+	}
+	contrib := make([]float64, n)
+	maxW, kept := 0.0, make([]float64, 0, n)
+	for i, rec := range t {
+		dist := newPolicy.Distribution(rec.Context)
+		if err := ValidateDistribution(dist); err != nil {
+			return Estimate{}, err
+		}
+		dm := 0.0
+		for _, w := range dist {
+			if w.Prob == 0 {
+				continue
+			}
+			dm += w.Prob * model.Predict(rec.Context, w.Decision)
+		}
+		if weights[i] <= tau {
+			contrib[i] = dm + weights[i]*(rec.Reward-model.Predict(rec.Context, rec.Decision))
+			kept = append(kept, weights[i])
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		} else {
+			contrib[i] = dm
+		}
+	}
+	est := summarizeContributions(contrib)
+	if len(kept) > 0 {
+		est.ESS = mathx.EffectiveSampleSize(kept)
+	}
+	est.MaxWeight = maxW
+	return est, nil
+}
+
+// StreamingDR is an online accumulator for the doubly robust estimate:
+// records are offered one at a time (as a measurement pipeline delivers
+// them) and the current estimate is available at any point in O(1).
+// The final estimate is identical to DoublyRobust over the same records
+// with the same options (no clipping or self-normalization).
+type StreamingDR[C any, D comparable] struct {
+	newPolicy Policy[C, D]
+	model     RewardModel[C, D]
+
+	n             int
+	sum, sumSq    float64
+	weightSum     float64
+	weightSqSum   float64
+	maxWeight     float64
+	rejectedCount int
+}
+
+// NewStreamingDR creates an accumulator for the given target policy and
+// reward model.
+func NewStreamingDR[C any, D comparable](newPolicy Policy[C, D], model RewardModel[C, D]) *StreamingDR[C, D] {
+	return &StreamingDR[C, D]{newPolicy: newPolicy, model: model}
+}
+
+// Offer folds one record into the estimate. Records with invalid
+// propensities or improper policy distributions are rejected with an
+// error and do not affect the estimate.
+func (s *StreamingDR[C, D]) Offer(rec Record[C, D]) error {
+	if rec.Propensity <= 0 || rec.Propensity > 1 {
+		s.rejectedCount++
+		return errors.New("core: record propensity outside (0,1]")
+	}
+	dist := s.newPolicy.Distribution(rec.Context)
+	if err := ValidateDistribution(dist); err != nil {
+		s.rejectedCount++
+		return err
+	}
+	dm := 0.0
+	var pNew float64
+	for _, w := range dist {
+		if w.Prob == 0 {
+			continue
+		}
+		dm += w.Prob * s.model.Predict(rec.Context, w.Decision)
+		if w.Decision == rec.Decision {
+			pNew = w.Prob
+		}
+	}
+	w := pNew / rec.Propensity
+	c := dm + w*(rec.Reward-s.model.Predict(rec.Context, rec.Decision))
+	s.n++
+	s.sum += c
+	s.sumSq += c * c
+	s.weightSum += w
+	s.weightSqSum += w * w
+	if w > s.maxWeight {
+		s.maxWeight = w
+	}
+	return nil
+}
+
+// N returns the number of accepted records.
+func (s *StreamingDR[C, D]) N() int { return s.n }
+
+// Rejected returns the number of rejected records.
+func (s *StreamingDR[C, D]) Rejected() int { return s.rejectedCount }
+
+// Estimate returns the current DR estimate. It returns ErrEmptyTrace
+// before any record has been accepted.
+func (s *StreamingDR[C, D]) Estimate() (Estimate, error) {
+	if s.n == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	n := float64(s.n)
+	est := Estimate{
+		Value:     s.sum / n,
+		N:         s.n,
+		MaxWeight: s.maxWeight,
+	}
+	if s.n > 1 {
+		variance := (s.sumSq - s.sum*s.sum/n) / (n - 1)
+		if variance > 0 {
+			est.StdErr = math.Sqrt(variance / n)
+		}
+	}
+	if s.weightSqSum > 0 {
+		est.ESS = s.weightSum * s.weightSum / s.weightSqSum
+	}
+	return est, nil
+}

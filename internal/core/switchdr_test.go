@@ -1,0 +1,183 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestSwitchDREqualsDRWithHugeTau(t *testing.T) {
+	b := newTestBandit(71, 0.1)
+	tr, _ := collectBanditTrace(b, 800, 0.4)
+	np := banditNewPolicy(0.2)
+	model := RewardFunc[float64, int](b.trueReward)
+	sw, err := SwitchDR(tr, np, model, SwitchOptions{Tau: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := DoublyRobust(tr, np, model, DROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sw.Value-dr.Value) > 1e-12 {
+		t.Fatalf("SwitchDR(tau=inf) %g != DR %g", sw.Value, dr.Value)
+	}
+}
+
+func TestSwitchDREqualsDMWithTinyTau(t *testing.T) {
+	b := newTestBandit(72, 0.1)
+	tr, _ := collectBanditTrace(b, 400, 0.4)
+	np := banditNewPolicy(0.2)
+	model := ConstantModel[float64, int]{Value: 3}
+	sw, err := SwitchDR(tr, np, model, SwitchOptions{Tau: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := DirectMethod(tr, np, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sw.Value-dm.Value) > 1e-12 {
+		t.Fatalf("SwitchDR(tau~0) %g != DM %g", sw.Value, dm.Value)
+	}
+}
+
+func TestSwitchDRVarianceBetweenDMAndDR(t *testing.T) {
+	// With a decent model and low-randomness logging, SwitchDR's
+	// variance should sit below plain DR's.
+	np := banditNewPolicy(0.05)
+	model := RewardFunc[float64, int](func(c float64, d int) float64 {
+		return c*float64(d+1) + 0.15
+	})
+	var drVals, swVals []float64
+	for run := 0; run < 40; run++ {
+		b := newTestBandit(int64(900+run), 0.3)
+		tr, _ := collectBanditTrace(b, 300, 0.06)
+		dr, err := DoublyRobust(tr, np, model, DROptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := SwitchDR(tr, np, model, SwitchOptions{Tau: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		drVals = append(drVals, dr.Value)
+		swVals = append(swVals, sw.Value)
+	}
+	if mathx.Variance(swVals) >= mathx.Variance(drVals) {
+		t.Fatalf("SwitchDR variance %g should be below DR %g in the low-randomness regime",
+			mathx.Variance(swVals), mathx.Variance(drVals))
+	}
+}
+
+func TestSwitchDRDefaultTau(t *testing.T) {
+	b := newTestBandit(73, 0.1)
+	tr, _ := collectBanditTrace(b, 500, 0.2)
+	np := banditNewPolicy(0.1)
+	sw, err := SwitchDR(tr, np, RewardFunc[float64, int](b.trueReward), SwitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.N != 500 {
+		t.Fatalf("N = %d", sw.N)
+	}
+}
+
+func TestSwitchDRErrors(t *testing.T) {
+	np := banditNewPolicy(0.1)
+	model := ConstantModel[float64, int]{}
+	if _, err := SwitchDR(Trace[float64, int]{}, np, model, SwitchOptions{}); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatal("expected ErrEmptyTrace")
+	}
+	bad := Trace[float64, int]{{Context: 0.5, Decision: 0, Reward: 1, Propensity: 0}}
+	if _, err := SwitchDR(bad, np, model, SwitchOptions{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestStreamingDRMatchesBatch(t *testing.T) {
+	b := newTestBandit(74, 0.1)
+	tr, _ := collectBanditTrace(b, 700, 0.4)
+	np := banditNewPolicy(0.2)
+	model := RewardFunc[float64, int](b.trueReward)
+	s := NewStreamingDR(np, model)
+	for _, rec := range tr {
+		if err := s.Offer(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DoublyRobust(tr, np, model, DROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Value-want.Value) > 1e-9 {
+		t.Fatalf("streaming %g != batch %g", got.Value, want.Value)
+	}
+	if math.Abs(got.StdErr-want.StdErr) > 1e-9 {
+		t.Fatalf("streaming stderr %g != batch %g", got.StdErr, want.StdErr)
+	}
+	if math.Abs(got.ESS-want.ESS) > 1e-6 {
+		t.Fatalf("streaming ESS %g != batch %g", got.ESS, want.ESS)
+	}
+	if got.N != want.N || s.N() != len(tr) {
+		t.Fatal("record accounting mismatch")
+	}
+}
+
+func TestStreamingDRRejectsBadRecords(t *testing.T) {
+	np := banditNewPolicy(0.2)
+	s := NewStreamingDR(np, ConstantModel[float64, int]{})
+	if err := s.Offer(Record[float64, int]{Propensity: 0}); err == nil {
+		t.Fatal("expected rejection")
+	}
+	if s.Rejected() != 1 || s.N() != 0 {
+		t.Fatal("rejection accounting broken")
+	}
+	if _, err := s.Estimate(); !errors.Is(err, ErrEmptyTrace) {
+		t.Fatal("expected ErrEmptyTrace before any accepted record")
+	}
+	// A bad policy distribution also rejects.
+	bad := NewStreamingDR[float64, int](FuncPolicy[float64, int](func(float64) []Weighted[int] {
+		return []Weighted[int]{{Decision: 0, Prob: 0.2}}
+	}), ConstantModel[float64, int]{})
+	if err := bad.Offer(Record[float64, int]{Propensity: 0.5}); err == nil {
+		t.Fatal("expected distribution rejection")
+	}
+}
+
+func TestStreamingDRIncremental(t *testing.T) {
+	// The estimate must be queryable mid-stream and converge.
+	b := newTestBandit(75, 0.05)
+	tr, ctxs := collectBanditTrace(b, 2000, 0.5)
+	np := banditNewPolicy(0.2)
+	model := RewardFunc[float64, int](b.trueReward)
+	truth := TrueValue(ctxs, np, b.trueReward)
+	s := NewStreamingDR(np, model)
+	var at100, at2000 float64
+	for i, rec := range tr {
+		if err := s.Offer(rec); err != nil {
+			t.Fatal(err)
+		}
+		if i == 99 {
+			est, err := s.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			at100 = math.Abs(est.Value - truth)
+		}
+	}
+	est, err := s.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at2000 = math.Abs(est.Value - truth)
+	if at2000 > at100+0.02 {
+		t.Fatalf("estimate did not improve with data: |err| %g -> %g", at100, at2000)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Record is one logged interaction: the old policy observed context
+// Context, chose Decision (with probability Propensity under the old
+// policy), and the system returned Reward.
+type Record[C any, D comparable] struct {
+	Context  C
+	Decision D
+	Reward   float64
+	// Propensity is µ_old(Decision | Context): the probability with
+	// which the logging policy chose this decision. It must be in
+	// (0, 1]. When it is unknown, use AttachPropensities or
+	// EstimatePropensities before running IPS/DR.
+	Propensity float64
+}
+
+// Trace is an ordered sequence of logged records, as collected while the
+// old policy was serving clients.
+type Trace[C any, D comparable] []Record[C, D]
+
+// ErrEmptyTrace is returned by estimators invoked on a trace with no
+// records.
+var ErrEmptyTrace = errors.New("core: empty trace")
+
+// Rewards returns the logged rewards in order.
+func (t Trace[C, D]) Rewards() []float64 {
+	out := make([]float64, len(t))
+	for i, rec := range t {
+		out[i] = rec.Reward
+	}
+	return out
+}
+
+// MeanReward returns the average logged reward (the on-policy value of
+// the old policy).
+func (t Trace[C, D]) MeanReward() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, rec := range t {
+		s += rec.Reward
+	}
+	return s / float64(len(t))
+}
+
+// Validate checks that every record has a usable propensity (in (0,1])
+// and finite reward. Estimators that use propensities call this
+// implicitly; it is exported so trace producers can fail fast.
+func (t Trace[C, D]) Validate() error {
+	for i, rec := range t {
+		if rec.Propensity <= 0 || rec.Propensity > 1 {
+			return fmt.Errorf("core: record %d has propensity %g, want (0,1]", i, rec.Propensity)
+		}
+		if rec.Reward != rec.Reward { // NaN
+			return fmt.Errorf("core: record %d has NaN reward", i)
+		}
+	}
+	return nil
+}
+
+// Split partitions the trace into two halves: the first frac (0<frac<1)
+// of records and the remainder. It is used for sample-splitting — fitting
+// the reward model on one part and estimating on the other — which keeps
+// DR's favourable bias properties when the model is fit from the same
+// trace.
+func (t Trace[C, D]) Split(frac float64) (fit, eval Trace[C, D], err error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("core: split fraction %g out of (0,1)", frac)
+	}
+	k := int(frac * float64(len(t)))
+	if k == 0 || k == len(t) {
+		return nil, nil, errors.New("core: split produced an empty part")
+	}
+	return t[:k], t[k:], nil
+}
+
+// DecisionCounts tallies how many times each decision appears in the
+// trace.
+func (t Trace[C, D]) DecisionCounts() map[D]int {
+	out := make(map[D]int)
+	for _, rec := range t {
+		out[rec.Decision]++
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package core
+
+// TrueValue computes the exact expected per-client reward of a policy
+// when the true reward function is known (only possible in simulation):
+// V(µ) = (1/n) Σ_k Σ_d µ(d|c_k) · r(c_k, d). This is the paper's ground
+// truth V against which relative evaluation error is measured.
+func TrueValue[C any, D comparable](contexts []C, policy Policy[C, D], trueReward func(c C, d D) float64) float64 {
+	if len(contexts) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, c := range contexts {
+		for _, w := range policy.Distribution(c) {
+			if w.Prob == 0 {
+				continue
+			}
+			total += w.Prob * trueReward(c, w.Decision)
+		}
+	}
+	return total / float64(len(contexts))
+}
+
+// CollectTrace simulates the logging phase: for each context, sample a
+// decision from the old policy, observe the reward from the true reward
+// function, and record the old policy's propensity. This is the
+// "real deployment" arrow of the paper's Figure 1, available to us only
+// because the substrate is simulated.
+func CollectTrace[C any, D comparable](contexts []C, oldPolicy Policy[C, D], drawReward func(c C, d D) float64, rng interface {
+	Categorical([]float64) int
+}) Trace[C, D] {
+	t := make(Trace[C, D], 0, len(contexts))
+	for _, c := range contexts {
+		dist := oldPolicy.Distribution(c)
+		probs := make([]float64, len(dist))
+		for i, w := range dist {
+			probs[i] = w.Prob
+		}
+		pick := dist[rng.Categorical(probs)]
+		t = append(t, Record[C, D]{
+			Context:    c,
+			Decision:   pick.Decision,
+			Reward:     drawReward(c, pick.Decision),
+			Propensity: pick.Prob,
+		})
+	}
+	return t
+}

@@ -1,0 +1,85 @@
+// Package experiments regenerates every quantitative result of the
+// paper — the three panels of Figure 7 — plus the extension experiments
+// the design document (DESIGN.md) derives from §3–§4: second-order bias,
+// the randomness/coverage sweep, non-stationary replay, world-state
+// correction, coupling correction, the dimensionality sweep, and the
+// relay NAT-bias study.
+//
+// Every experiment is a pure function of (runs, seed) returning a typed
+// Result, so the same code backs the unit tests, the root benchmarks
+// (bench_test.go) and the cmd/experiments CLI.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"drnet/internal/mathx"
+)
+
+// Row is one line of an experiment's result table: a labeled summary of
+// relative evaluation errors (or another metric) over repeated runs.
+type Row struct {
+	// Label identifies the estimator or sweep point.
+	Label string
+	// Metric names what the summary aggregates (default: "rel. error").
+	Metric string
+	// Summary is the mean/min/max/std over runs.
+	Summary mathx.Summary
+}
+
+// Result is a complete experiment output.
+type Result struct {
+	// ID is the experiment identifier (e.g. "F7a", "E2").
+	ID string
+	// Title is the human-readable headline.
+	Title string
+	// Runs is the number of independent repetitions aggregated.
+	Runs int
+	// Rows are the table rows.
+	Rows []Row
+	// Notes carries any caveats worth printing with the table.
+	Notes []string
+}
+
+// Render formats the result as an aligned text table, in the style of
+// the paper's "mean, minimum and maximum of evaluation errors over 50
+// runs".
+func (r Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s (%d runs)\n", r.ID, r.Title, r.Runs)
+	width := 10
+	for _, row := range r.Rows {
+		if len(row.Label) > width {
+			width = len(row.Label)
+		}
+	}
+	fmt.Fprintf(&sb, "  %-*s  %-12s %10s %10s %10s %10s\n", width, "label", "metric", "mean", "min", "max", "std")
+	for _, row := range r.Rows {
+		metric := row.Metric
+		if metric == "" {
+			metric = "rel. error"
+		}
+		fmt.Fprintf(&sb, "  %-*s  %-12s %10.4f %10.4f %10.4f %10.4f\n",
+			width, row.Label, metric, row.Summary.Mean, row.Summary.Min, row.Summary.Max, row.Summary.Std)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// row builds a Row from raw per-run values.
+func row(label, metric string, values []float64) Row {
+	return Row{Label: label, Metric: metric, Summary: mathx.Summarize(values)}
+}
+
+// Reduction returns the relative reduction of b versus a (1 - b/a), the
+// headline statistic the paper quotes ("DR's evaluation error is about
+// 32% lower than WISE").
+func Reduction(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return 1 - b/a
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"drnet/internal/abr"
+	"drnet/internal/cdnsim"
+	"drnet/internal/cfa"
+	"drnet/internal/core"
+	"drnet/internal/mathx"
+)
+
+// Figure7a reproduces the paper's Figure 7a ("Trace bias"): the WISE
+// CBN evaluator versus DR on the Figure 4 CDN-configuration world, with
+// 500 clients per observed measurement arrow and 5 per remaining
+// frontend/backend choice. The new policy moves 50% of ISP-1 clients to
+// (FE-1, BE-2). The paper reports DR's error ≈32% below WISE's.
+func Figure7a(runs int, seed int64) (Result, error) {
+	if runs <= 0 {
+		runs = 50
+	}
+	var wiseErrs, dmKnownErrs, ipsErrs, drErrs []float64
+	for run := 0; run < runs; run++ {
+		rng := mathx.NewRNG(seed + int64(run))
+		w := cdnsim.DefaultWorld()
+		d, err := cdnsim.Collect(w, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		np := w.NewPolicy()
+		truth := d.GroundTruth(np)
+		model, err := d.WISEModel(2)
+		if err != nil {
+			return Result{}, err
+		}
+		wise, err := core.DirectMethod(d.Trace, np, model)
+		if err != nil {
+			return Result{}, err
+		}
+		ips, err := core.IPS(d.Trace, np, core.IPSOptions{})
+		if err != nil {
+			return Result{}, err
+		}
+		dr, err := core.DoublyRobust(d.Trace, np, model, core.DROptions{})
+		if err != nil {
+			return Result{}, err
+		}
+		// A full-interaction CBN (maxParents=3) as an upper baseline.
+		fullModel, err := d.WISEModel(3)
+		if err != nil {
+			return Result{}, err
+		}
+		full, err := core.DirectMethod(d.Trace, np, fullModel)
+		if err != nil {
+			return Result{}, err
+		}
+		wiseErrs = append(wiseErrs, mathx.RelativeError(truth, wise.Value))
+		ipsErrs = append(ipsErrs, mathx.RelativeError(truth, ips.Value))
+		drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
+		dmKnownErrs = append(dmKnownErrs, mathx.RelativeError(truth, full.Value))
+	}
+	res := Result{
+		ID:    "F7a",
+		Title: "Trace bias: WISE (CBN direct method) vs DR on the Figure 4 world",
+		Runs:  runs,
+		Rows: []Row{
+			row("WISE (CBN DM)", "", wiseErrs),
+			row("IPS", "", ipsErrs),
+			row("DR", "", drErrs),
+			row("CBN 3-parent DM", "", dmKnownErrs),
+		},
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"DR mean error is %.0f%% lower than WISE (paper reports ≈32%%; our propensities are exact, so DR does even better)",
+		100*Reduction(mathx.Mean(wiseErrs), mathx.Mean(drErrs))))
+	return res, nil
+}
+
+// Figure7bScenario returns the canonical Figure 7b configuration: a
+// 100-chunk session, five bitrate levels, constant available bandwidth,
+// observed throughput b·p(r) with p increasing in the bitrate, logged
+// by an ε-randomized buffer-based policy.
+func Figure7bScenario() *abr.Scenario {
+	ladder := abr.DefaultLadder()
+	return &abr.Scenario{
+		Config: abr.SessionConfig{
+			Ladder:      ladder,
+			NumChunks:   100,
+			Observation: abr.ObservationModel{Ladder: ladder, PMin: 0.55},
+		},
+		BandwidthKbps: 1200,
+		OldPolicy:     abr.BBA{ReservoirSec: 5, CushionSec: 10, Epsilon: 0.2},
+	}
+}
+
+// Figure7b reproduces the paper's Figure 7b ("Model bias"): the
+// FastMPC-style evaluator (a Direct Method whose throughput model
+// assumes observed throughput is independent of the chunk bitrate)
+// versus DR, on sessions logged by a buffer-based policy. The paper
+// reports DR's error ≈74% below the FastMPC evaluator's.
+//
+// sessionsPerRun controls how many independent 100-chunk sessions each
+// run aggregates (the evaluation corpus); 5 is the default.
+func Figure7b(runs, sessionsPerRun int, seed int64) (Result, error) {
+	if runs <= 0 {
+		runs = 50
+	}
+	if sessionsPerRun <= 0 {
+		sessionsPerRun = 5
+	}
+	var dmErrs, ipsErrs, drErrs []float64
+	for run := 0; run < runs; run++ {
+		rng := mathx.NewRNG(seed + int64(run))
+		s := Figure7bScenario()
+		d, err := s.CollectMany(rng, sessionsPerRun)
+		if err != nil {
+			return Result{}, err
+		}
+		np := d.NewPolicy(0)
+		truth := d.GroundTruth(np)
+		model := core.RewardFunc[abr.Chunk, int](d.ModelReward)
+		dm, err := core.DirectMethod(d.Trace, np, model)
+		if err != nil {
+			return Result{}, err
+		}
+		ips, err := core.IPS(d.Trace, np, core.IPSOptions{Clip: 8})
+		if err != nil {
+			return Result{}, err
+		}
+		dr, err := core.DoublyRobust(d.Trace, np, model, core.DROptions{Clip: 8})
+		if err != nil {
+			return Result{}, err
+		}
+		dmErrs = append(dmErrs, mathx.RelativeError(truth, dm.Value))
+		ipsErrs = append(ipsErrs, mathx.RelativeError(truth, ips.Value))
+		drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
+	}
+	res := Result{
+		ID:    "F7b",
+		Title: "Model bias: FastMPC-style evaluator vs DR on the ABR world",
+		Runs:  runs,
+		Rows: []Row{
+			row("FastMPC (DM)", "", dmErrs),
+			row("IPS (clip 8)", "", ipsErrs),
+			row("DR (clip 8)", "", drErrs),
+		},
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("DR mean error is %.0f%% lower than the FastMPC evaluator (paper reports ≈74%%; exact sim parameters were never published)",
+			100*Reduction(mathx.Mean(dmErrs), mathx.Mean(drErrs))),
+		"a pure trace-replay reward model memorizes logged rewards, zeroing DR's residuals; the predictor-based model is the corrigible baseline")
+	return res, nil
+}
+
+// Figure7c reproduces the paper's Figure 7c ("Variance"): the CFA
+// exact-matching evaluator versus DR with a k-NN direct model on the
+// randomized-logging video-QoE world. The paper reports DR's error ≈36%
+// below CFA's.
+func Figure7c(runs, clients int, seed int64) (Result, error) {
+	if runs <= 0 {
+		runs = 50
+	}
+	if clients <= 0 {
+		clients = 1000
+	}
+	var cfaErrs, dmErrs, drErrs []float64
+	for run := 0; run < runs; run++ {
+		rng := mathx.NewRNG(seed + int64(run))
+		w := cfa.DefaultWorld()
+		if err := w.Init(rng); err != nil {
+			return Result{}, err
+		}
+		d, err := w.Collect(clients, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		np := w.NewPolicy(0.4, rng)
+		truth := d.GroundTruth(np)
+		matched, err := core.MatchedRewards(d.Trace, np)
+		if err != nil {
+			return Result{}, err
+		}
+		model, err := d.PerDecisionKNNModel(3)
+		if err != nil {
+			return Result{}, err
+		}
+		dm, err := core.DirectMethod(d.Trace, np, model)
+		if err != nil {
+			return Result{}, err
+		}
+		fit := func(tr core.Trace[cfa.Client, cfa.Decision]) (core.RewardModel[cfa.Client, cfa.Decision], error) {
+			return (&cfa.Data{Trace: tr, World: d.World}).PerDecisionKNNModel(3)
+		}
+		dr, err := core.CrossFitDR(d.Trace, np, fit, 2, core.DROptions{})
+		if err != nil {
+			return Result{}, err
+		}
+		cfaErrs = append(cfaErrs, mathx.RelativeError(truth, matched.Value))
+		dmErrs = append(dmErrs, mathx.RelativeError(truth, dm.Value))
+		drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
+	}
+	res := Result{
+		ID:    "F7c",
+		Title: "Variance: CFA exact matching vs DR (cross-fit k-NN DM) on the video-QoE world",
+		Runs:  runs,
+		Rows: []Row{
+			row("CFA (matching)", "", cfaErrs),
+			row("k-NN DM", "", dmErrs),
+			row("DR (cross-fit)", "", drErrs),
+		},
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"DR mean error is %.0f%% lower than CFA matching (paper reports ≈36%%)",
+		100*Reduction(mathx.Mean(cfaErrs), mathx.Mean(drErrs))))
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package knn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classifier is a k-NN majority-vote classifier over integer labels.
+// The CFA scenario uses the regressor; the classifier rounds out the
+// package for discrete targets (e.g. predicting which CDN a session was
+// assigned, the building block of propensity models over categorical
+// contexts).
+type Classifier struct {
+	reg    *Regressor
+	labels []int
+}
+
+// FitClassifier builds a Classifier from feature rows and integer
+// labels.
+func FitClassifier(x [][]float64, labels []int, opts Options) (*Classifier, error) {
+	if len(x) != len(labels) {
+		return nil, fmt.Errorf("knn: %d rows but %d labels", len(x), len(labels))
+	}
+	// Reuse the regressor's index; targets are unused for
+	// classification but keep the API uniform.
+	y := make([]float64, len(labels))
+	for i, l := range labels {
+		y[i] = float64(l)
+	}
+	reg, err := Fit(x, y, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{reg: reg, labels: append([]int(nil), labels...)}, nil
+}
+
+// Classify returns the majority label among the k nearest neighbours;
+// ties break toward the closer neighbour's label.
+func (c *Classifier) Classify(x []float64) (int, error) {
+	nbrs, err := c.reg.Neighbors(x, 0)
+	if err != nil {
+		return 0, err
+	}
+	if len(nbrs) == 0 {
+		return 0, errors.New("knn: no neighbours")
+	}
+	votes := make(map[int]int)
+	for _, nb := range nbrs {
+		votes[c.labels[nb.idx]]++
+	}
+	best, bestVotes := c.labels[nbrs[0].idx], 0
+	// Iterate neighbours closest-first so ties resolve deterministically
+	// toward nearer labels.
+	seen := make(map[int]bool)
+	for _, nb := range nbrs {
+		l := c.labels[nb.idx]
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		if votes[l] > bestVotes {
+			bestVotes, best = votes[l], l
+		}
+	}
+	return best, nil
+}
+
+// Proba returns the neighbour-vote share for each label present in the
+// neighbourhood of x.
+func (c *Classifier) Proba(x []float64) (map[int]float64, error) {
+	nbrs, err := c.reg.Neighbors(x, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64)
+	for _, nb := range nbrs {
+		out[c.labels[nb.idx]] += 1 / float64(len(nbrs))
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package knn
+
+import (
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestClassifierSeparableClusters(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	var x [][]float64
+	var labels []int
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for li, c := range centers {
+		for i := 0; i < 100; i++ {
+			x = append(x, []float64{c[0] + rng.Normal(0, 1), c[1] + rng.Normal(0, 1)})
+			labels = append(labels, li)
+		}
+	}
+	cl, err := FitClassifier(x, labels, Options{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	const probes = 150
+	for i := 0; i < probes; i++ {
+		li := rng.Intn(3)
+		q := []float64{centers[li][0] + rng.Normal(0, 1), centers[li][1] + rng.Normal(0, 1)}
+		got, err := cl.Classify(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == li {
+			correct++
+		}
+	}
+	if acc := float64(correct) / probes; acc < 0.9 {
+		t.Fatalf("accuracy %g too low", acc)
+	}
+}
+
+func TestClassifierProba(t *testing.T) {
+	x := [][]float64{{0}, {0.1}, {0.2}, {10}}
+	labels := []int{1, 1, 1, 2}
+	cl, err := FitClassifier(x, labels, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.Proba([]float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[1]-1) > 1e-12 {
+		t.Fatalf("P(1) = %g, want 1", p[1])
+	}
+	total := 0.0
+	for _, v := range p {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %g", total)
+	}
+}
+
+func TestClassifierErrors(t *testing.T) {
+	if _, err := FitClassifier([][]float64{{1}}, []int{1, 2}, Options{}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := FitClassifier(nil, nil, Options{}); err == nil {
+		t.Fatal("empty data should fail")
+	}
+	cl, err := FitClassifier([][]float64{{1, 2}}, []int{1}, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Classify([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	if _, err := cl.Proba([]float64{1}); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+}

@@ -1,0 +1,297 @@
+// Package mathx provides the small dense linear-algebra, statistics and
+// random-sampling toolkit that the rest of the repository builds on.
+//
+// The package is intentionally self-contained (standard library only) and
+// favours clarity and numerical robustness over raw speed: the matrices
+// involved in trace-driven evaluation are tiny (tens of features), so
+// O(n^3) dense algorithms with partial pivoting are entirely adequate.
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// NewMatrix returns a zero-valued matrix with the given shape.
+// It panics if either dimension is not positive.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mathx: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix from a slice of equal-length rows.
+// The data is copied.
+func MatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("mathx: empty row data")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("mathx: row %d has %d entries, want %d", i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mathx: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mathx: row %d out of range", i))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m*b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("mathx: cannot multiply %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := NewMatrix(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.data[i*m.cols+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*out.cols+j] += a * b.data[k*b.cols+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m*x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("mathx: cannot multiply %dx%d by vector of length %d", m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Add returns m+b element-wise.
+func (m *Matrix) Add(b *Matrix) (*Matrix, error) {
+	if m.rows != b.rows || m.cols != b.cols {
+		return nil, fmt.Errorf("mathx: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += b.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns a new matrix with every element multiplied by s.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= s
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%.6g", m.At(i, j))
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("mathx: matrix is singular or not positive definite")
+
+// SolveLinear solves the square system A x = b using Gaussian elimination
+// with partial pivoting. A and b are not modified.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mathx: SolveLinear needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("mathx: rhs length %d, want %d", len(b), n)
+	}
+	// Work on copies.
+	aug := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest magnitude entry in this column.
+		pivot := col
+		best := math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				tmp := aug.At(col, j)
+				aug.Set(col, j, aug.At(pivot, j))
+				aug.Set(pivot, j, tmp)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				aug.Set(r, j, aug.At(r, j)-f*aug.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= aug.At(i, j) * x[j]
+		}
+		x[i] = s / aug.At(i, i)
+	}
+	return x, nil
+}
+
+// Cholesky computes the lower-triangular factor L with A = L Lᵀ for a
+// symmetric positive-definite matrix A. It returns ErrSingular when A is
+// not positive definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("mathx: Cholesky needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
+	n := l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("mathx: rhs length %d, want %d", len(b), n)
+	}
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= l.At(i, j) * y[j]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= l.At(j, i) * x[j]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}

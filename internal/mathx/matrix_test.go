@@ -1,0 +1,265 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if got := m.At(1, 2); got != 7 {
+		t.Fatalf("At(1,2) = %g, want 7", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone is not independent of original")
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m, err := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %g, want 3", m.At(1, 0))
+	}
+	if _, err := MatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+	if _, err := MatrixFromRows(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := MatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("product[%d][%d] = %g, want %g", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", got)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestMatrixTransposeAddScale(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := a.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 || tr.At(2, 1) != 6 {
+		t.Fatalf("bad transpose: %v", tr)
+	}
+	sum, err := a.Add(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(1, 2) != 12 {
+		t.Fatalf("Add: got %g, want 12", sum.At(1, 2))
+	}
+	sc := a.Scale(2)
+	if sc.At(0, 1) != 4 {
+		t.Fatalf("Scale: got %g, want 4", sc.At(0, 1))
+	}
+	if _, err := a.Add(NewMatrix(1, 1)); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-9) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+}
+
+func TestSolveLinearNonSquare(t *testing.T) {
+	if _, err := SolveLinear(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if _, err := SolveLinear(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+}
+
+// Property: for random well-conditioned SPD systems, solving and then
+// multiplying back recovers the right-hand side.
+func TestSolveLinearRoundTripProperty(t *testing.T) {
+	rng := NewRNG(42)
+	f := func(seed uint8) bool {
+		r := NewRNG(int64(seed) + rng.Int63n(1000))
+		n := 1 + r.Intn(6)
+		// A = B Bᵀ + n·I is SPD and well conditioned.
+		b := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, r.Normal(0, 1))
+			}
+		}
+		bt := b.Transpose()
+		a, _ := b.Mul(bt)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = r.Normal(0, 3)
+		}
+		x, err := SolveLinear(a, rhs)
+		if err != nil {
+			return false
+		}
+		back, _ := a.MulVec(x)
+		for i := range rhs {
+			if !almostEqual(back[i], rhs[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyAndSolve(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{
+		{4, 12, -16},
+		{12, 37, -43},
+		{-16, -43, 98},
+	})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Known factorization of this classic example.
+	want := [][]float64{{2, 0, 0}, {6, 1, 0}, {-8, 5, 3}}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !almostEqual(l.At(i, j), want[i][j], 1e-9) {
+				t.Fatalf("L[%d][%d] = %g, want %g", i, j, l.At(i, j), want[i][j])
+			}
+		}
+	}
+	x, err := SolveCholesky(l, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := a.MulVec(x)
+	for i, b := range []float64{1, 2, 3} {
+		if !almostEqual(back[i], b, 1e-8) {
+			t.Fatalf("round trip failed: A·x = %v", back)
+		}
+	}
+}
+
+func TestCholeskyNotPositiveDefinite(t *testing.T) {
+	a, _ := MatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); err == nil {
+		t.Fatal("expected ErrSingular for indefinite matrix")
+	}
+}
+
+// Property: Cholesky factor satisfies L·Lᵀ = A for random SPD matrices.
+func TestCholeskyFactorizationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(5)
+		b := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, r.Normal(0, 1))
+			}
+		}
+		a, _ := b.Mul(b.Transpose())
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+1)
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		llt, _ := l.Mul(l.Transpose())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEqual(llt.At(i, j), a.At(i, j), 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	a, _ := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	p, _ := a.Mul(id)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if p.At(i, j) != a.At(i, j) {
+				t.Fatal("A·I != A")
+			}
+		}
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m, _ := MatrixFromRows([][]float64{{1, 2}})
+	if got := m.String(); got != "[1 2]\n" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,110 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := NewRNG(1)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.Normal(5, 3)
+		w.Add(xs[i])
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("mean %g vs %g", w.Mean(), Mean(xs))
+	}
+	if !almostEqual(w.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("variance %g vs %g", w.Variance(), Variance(xs))
+	}
+	min, max := MinMax(xs)
+	if w.Min() != min || w.Max() != max {
+		t.Fatal("min/max mismatch")
+	}
+	if w.N() != 1000 {
+		t.Fatalf("N = %d", w.N())
+	}
+	s := w.Summary()
+	if s.N != 1000 || !almostEqual(s.Std, StdDev(xs), 1e-9) {
+		t.Fatalf("summary %+v", s)
+	}
+	if !almostEqual(w.StdErr(), StdDev(xs)/math.Sqrt(1000), 1e-12) {
+		t.Fatalf("stderr %g", w.StdErr())
+	}
+}
+
+func TestWelfordDegenerate(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("empty accumulator should be zero")
+	}
+	w.Add(7)
+	if w.Mean() != 7 || w.Variance() != 0 || w.Min() != 7 || w.Max() != 7 {
+		t.Fatal("single observation broken")
+	}
+}
+
+// Property: Welford agrees with the batch formulas on arbitrary data.
+func TestWelfordAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := NewRNG(seed)
+		n := 2 + rng.Intn(200)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.Normal(0, 1e3)
+			w.Add(xs[i])
+		}
+		return almostEqual(w.Mean(), Mean(xs), 1e-6) &&
+			almostEqual(w.Variance(), Variance(xs), 1e-3*Variance(xs)+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	rng := NewRNG(2)
+	r := NewReservoir(10, rng)
+	for i := 0; i < 5; i++ {
+		r.Add(float64(i))
+	}
+	if len(r.Sample()) != 5 || r.Seen() != 5 {
+		t.Fatalf("sample %v seen %d", r.Sample(), r.Seen())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of 100 stream elements should land in a k=10 reservoir with
+	// probability 1/10.
+	rng := NewRNG(3)
+	counts := make([]int, 100)
+	const trials = 20000
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(10, rng)
+		for i := 0; i < 100; i++ {
+			r.Add(float64(i))
+		}
+		for _, v := range r.Sample() {
+			counts[int(v)]++
+		}
+	}
+	for i, c := range counts {
+		p := float64(c) / trials
+		if math.Abs(p-0.1) > 0.015 {
+			t.Fatalf("element %d selected with frequency %g, want ~0.1", i, p)
+		}
+	}
+}
+
+func TestReservoirMinimumCapacity(t *testing.T) {
+	r := NewReservoir(0, NewRNG(4))
+	r.Add(1)
+	r.Add(2)
+	if len(r.Sample()) != 1 {
+		t.Fatalf("capacity should clamp to 1, got %d", len(r.Sample()))
+	}
+}

@@ -1,0 +1,170 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RNG wraps *rand.Rand with the distribution samplers the simulators
+// need. Every stochastic component in this repository takes an explicit
+// RNG so that experiments are reproducible bit-for-bit from a seed.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a seeded RNG.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Normal samples N(mu, sigma²).
+func (r *RNG) Normal(mu, sigma float64) float64 {
+	return mu + sigma*r.NormFloat64()
+}
+
+// LogNormal samples a log-normal variate whose underlying normal has the
+// given mu and sigma.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exponential samples an exponential variate with the given rate λ.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("mathx: Exponential needs rate > 0")
+	}
+	return r.ExpFloat64() / rate
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Categorical samples an index proportional to the given non-negative
+// weights. It panics when all weights are zero or any is negative.
+func (r *RNG) Categorical(weights []float64) int {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("mathx: negative or NaN weight %g at index %d", w, i))
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("mathx: Categorical needs positive total weight")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1 // floating-point slack
+}
+
+// Gamma samples a Gamma(shape, 1) variate using the Marsaglia–Tsang
+// method. shape must be positive.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("mathx: Gamma needs shape > 0")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet samples a probability vector from Dirichlet(alpha).
+func (r *RNG) Dirichlet(alpha []float64) []float64 {
+	out := make([]float64, len(alpha))
+	total := 0.0
+	for i, a := range alpha {
+		out[i] = r.Gamma(a)
+		total += out[i]
+	}
+	if total == 0 {
+		// Degenerate draw; fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Pareto samples a Pareto variate with the given scale (minimum) and
+// shape (tail index).
+func (r *RNG) Pareto(scale, shape float64) float64 {
+	if scale <= 0 || shape <= 0 {
+		panic("mathx: Pareto needs positive scale and shape")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return scale / math.Pow(u, 1/shape)
+}
+
+// Uniform samples uniformly from [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bootstrap fills dst with a resample (with replacement) of xs. dst and
+// xs may be the same length; dst is returned for chaining.
+func (r *RNG) Bootstrap(dst, xs []float64) []float64 {
+	for i := range dst {
+		dst[i] = xs[r.Intn(len(xs))]
+	}
+	return dst
+}
+
+// BootstrapCI estimates a two-sided percentile bootstrap confidence
+// interval for the mean of xs at the given confidence level (e.g. 0.95)
+// using b resamples.
+func (r *RNG) BootstrapCI(xs []float64, level float64, b int) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if level <= 0 || level >= 1 {
+		panic("mathx: confidence level must be in (0,1)")
+	}
+	if b <= 0 {
+		b = 1000
+	}
+	means := make([]float64, b)
+	buf := make([]float64, len(xs))
+	for i := 0; i < b; i++ {
+		means[i] = Mean(r.Bootstrap(buf, xs))
+	}
+	alpha := (1 - level) / 2
+	return Quantile(means, alpha), Quantile(means, 1-alpha)
+}

@@ -1,0 +1,192 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(1)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Normal(3, 2)
+	}
+	if m := Mean(xs); !almostEqual(m, 3, 0.05) {
+		t.Fatalf("mean = %g, want ~3", m)
+	}
+	if s := StdDev(xs); !almostEqual(s, 2, 0.05) {
+		t.Fatalf("std = %g, want ~2", s)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced %g", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(3)
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = r.Exponential(4)
+	}
+	if m := Mean(xs); !almostEqual(m, 0.25, 0.01) {
+		t.Fatalf("mean = %g, want ~0.25", m)
+	}
+	mustPanic(t, func() { r.Exponential(0) })
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(4)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; !almostEqual(p, 0.3, 0.01) {
+		t.Fatalf("frequency = %g, want ~0.3", p)
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := NewRNG(5)
+	weights := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(weights)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if !almostEqual(got, want, 0.01) {
+			t.Fatalf("bucket %d frequency %g, want ~%g", i, got, want)
+		}
+	}
+	mustPanic(t, func() { r.Categorical([]float64{0, 0}) })
+	mustPanic(t, func() { r.Categorical([]float64{-1, 2}) })
+}
+
+func TestCategoricalDegenerateWeight(t *testing.T) {
+	r := NewRNG(6)
+	for i := 0; i < 100; i++ {
+		if got := r.Categorical([]float64{0, 0, 5, 0}); got != 2 {
+			t.Fatalf("one-hot weights chose %d", got)
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := NewRNG(7)
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		xs := make([]float64, 40000)
+		for i := range xs {
+			xs[i] = r.Gamma(shape)
+		}
+		if m := Mean(xs); !almostEqual(m, shape, 0.05*math.Max(1, shape)) {
+			t.Fatalf("Gamma(%g) mean = %g", shape, m)
+		}
+	}
+	mustPanic(t, func() { r.Gamma(0) })
+}
+
+func TestDirichletSimplex(t *testing.T) {
+	r := NewRNG(8)
+	alpha := []float64{1, 2, 3}
+	for i := 0; i < 200; i++ {
+		p := r.Dirichlet(alpha)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative component %g", v)
+			}
+			sum += v
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Fatalf("components sum to %g", sum)
+		}
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		if v := r.Pareto(2, 1.5); v < 2 {
+			t.Fatalf("Pareto below scale: %g", v)
+		}
+	}
+	mustPanic(t, func() { r.Pareto(0, 1) })
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(10)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %g", v)
+		}
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	r := NewRNG(11)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.Normal(10, 1)
+	}
+	lo, hi := r.BootstrapCI(xs, 0.95, 500)
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%g, %g]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%g, %g] excludes the true mean 10", lo, hi)
+	}
+	// Width should be around 2*1.96/sqrt(500) ~ 0.175.
+	if w := hi - lo; w > 0.5 {
+		t.Fatalf("CI too wide: %g", w)
+	}
+	if lo, hi := r.BootstrapCI(nil, 0.95, 10); lo != 0 || hi != 0 {
+		t.Fatal("empty input should give zero CI")
+	}
+	mustPanic(t, func() { r.BootstrapCI(xs, 1.5, 10) })
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Normal(0, 1) != b.Normal(0, 1) {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+// Property: Categorical never returns an index with zero weight.
+func TestCategoricalZeroWeightProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(seed)
+		n := 2 + r.Intn(8)
+		ws := make([]float64, n)
+		zero := r.Intn(n)
+		for i := range ws {
+			if i != zero {
+				ws[i] = r.Float64() + 0.01
+			}
+		}
+		for k := 0; k < 50; k++ {
+			if r.Categorical(ws) == zero {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package mathx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearModel is a fitted linear (or ridge) regression model.
+type LinearModel struct {
+	// Weights holds one coefficient per input feature.
+	Weights []float64
+	// Intercept is the bias term.
+	Intercept float64
+}
+
+// RidgeOptions configures Ridge.
+type RidgeOptions struct {
+	// Lambda is the L2 regularization strength. Zero gives ordinary
+	// least squares. The intercept is never regularized.
+	Lambda float64
+	// FitIntercept controls whether a bias term is estimated.
+	FitIntercept bool
+}
+
+// Ridge fits a linear model minimising ||y - Xw - b||² + λ||w||² using the
+// normal equations solved by Cholesky factorization. X is given as one row
+// per observation.
+func Ridge(x [][]float64, y []float64, opts RidgeOptions) (*LinearModel, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("mathx: no observations")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("mathx: %d rows but %d targets", n, len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, errors.New("mathx: zero-dimensional features")
+	}
+	if opts.Lambda < 0 {
+		return nil, errors.New("mathx: negative lambda")
+	}
+
+	// Augment with a constant column when fitting an intercept.
+	p := d
+	if opts.FitIntercept {
+		p++
+	}
+	// Build XᵀX and Xᵀy directly without materializing the design matrix.
+	xtx := NewMatrix(p, p)
+	xty := make([]float64, p)
+	row := make([]float64, p)
+	for i := 0; i < n; i++ {
+		if len(x[i]) != d {
+			return nil, fmt.Errorf("mathx: row %d has %d features, want %d", i, len(x[i]), d)
+		}
+		copy(row, x[i])
+		if opts.FitIntercept {
+			row[d] = 1
+		}
+		for a := 0; a < p; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			xty[a] += row[a] * y[i]
+			for b := a; b < p; b++ {
+				xtx.Set(a, b, xtx.At(a, b)+row[a]*row[b])
+			}
+		}
+	}
+	// Mirror the upper triangle and add the ridge penalty (not on the
+	// intercept column).
+	for a := 0; a < p; a++ {
+		for b := 0; b < a; b++ {
+			xtx.Set(a, b, xtx.At(b, a))
+		}
+	}
+	for a := 0; a < d; a++ {
+		xtx.Set(a, a, xtx.At(a, a)+opts.Lambda)
+	}
+	// A tiny jitter keeps plain OLS solvable on nearly collinear inputs.
+	if opts.Lambda == 0 {
+		for a := 0; a < p; a++ {
+			xtx.Set(a, a, xtx.At(a, a)+1e-10)
+		}
+	}
+
+	l, err := Cholesky(xtx)
+	if err != nil {
+		return nil, err
+	}
+	w, err := SolveCholesky(l, xty)
+	if err != nil {
+		return nil, err
+	}
+	m := &LinearModel{Weights: w[:d]}
+	if opts.FitIntercept {
+		m.Intercept = w[d]
+	}
+	return m, nil
+}
+
+// Predict returns the model output for a single feature vector.
+func (m *LinearModel) Predict(x []float64) float64 {
+	s := m.Intercept
+	for i, w := range m.Weights {
+		s += w * x[i]
+	}
+	return s
+}
+
+// LogisticModel is a fitted binary logistic-regression model. It predicts
+// P(y=1 | x) = sigmoid(wᵀx + b).
+type LogisticModel struct {
+	Weights   []float64
+	Intercept float64
+}
+
+// LogisticOptions configures FitLogistic.
+type LogisticOptions struct {
+	// Lambda is the L2 penalty (not applied to the intercept).
+	Lambda float64
+	// MaxIter bounds the number of Newton iterations (default 50).
+	MaxIter int
+	// Tol is the convergence tolerance on the max gradient norm
+	// (default 1e-8).
+	Tol float64
+}
+
+// FitLogistic fits binary logistic regression with Newton–Raphson
+// (iteratively reweighted least squares). Labels must be 0 or 1.
+func FitLogistic(x [][]float64, y []float64, opts LogisticOptions) (*LogisticModel, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("mathx: no observations")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("mathx: %d rows but %d labels", n, len(y))
+	}
+	d := len(x[0])
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-8
+	}
+	p := d + 1 // always fit an intercept
+	w := make([]float64, p)
+
+	row := make([]float64, p)
+	grad := make([]float64, p)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		hess := NewMatrix(p, p)
+		for i := range grad {
+			grad[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			if len(x[i]) != d {
+				return nil, fmt.Errorf("mathx: row %d has %d features, want %d", i, len(x[i]), d)
+			}
+			if y[i] != 0 && y[i] != 1 {
+				return nil, fmt.Errorf("mathx: label %g at row %d is not 0/1", y[i], i)
+			}
+			copy(row, x[i])
+			row[d] = 1
+			z := 0.0
+			for j := 0; j < p; j++ {
+				z += w[j] * row[j]
+			}
+			mu := Sigmoid(z)
+			resid := mu - y[i]
+			wt := mu * (1 - mu)
+			if wt < 1e-9 {
+				wt = 1e-9
+			}
+			for a := 0; a < p; a++ {
+				grad[a] += resid * row[a]
+				for b := a; b < p; b++ {
+					hess.Set(a, b, hess.At(a, b)+wt*row[a]*row[b])
+				}
+			}
+		}
+		for a := 0; a < p; a++ {
+			for b := 0; b < a; b++ {
+				hess.Set(a, b, hess.At(b, a))
+			}
+		}
+		for a := 0; a < d; a++ {
+			grad[a] += opts.Lambda * w[a]
+			hess.Set(a, a, hess.At(a, a)+opts.Lambda)
+		}
+		// Levenberg-style jitter for stability.
+		for a := 0; a < p; a++ {
+			hess.Set(a, a, hess.At(a, a)+1e-9)
+		}
+		step, err := SolveLinear(hess, grad)
+		if err != nil {
+			return nil, err
+		}
+		maxG := 0.0
+		for a := 0; a < p; a++ {
+			w[a] -= step[a]
+			if g := math.Abs(grad[a]); g > maxG {
+				maxG = g
+			}
+		}
+		if maxG < opts.Tol {
+			break
+		}
+	}
+	return &LogisticModel{Weights: w[:d], Intercept: w[d]}, nil
+}
+
+// Predict returns P(y=1 | x).
+func (m *LogisticModel) Predict(x []float64) float64 {
+	z := m.Intercept
+	for i, w := range m.Weights {
+		z += w * x[i]
+	}
+	return Sigmoid(z)
+}
+
+// Sigmoid is the numerically stable logistic function 1/(1+e^-z).
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

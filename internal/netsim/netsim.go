@@ -1,0 +1,130 @@
+// Package netsim is the shared network substrate behind the world-state
+// and decision–reward-coupling experiments (§4.1, §4.3): servers whose
+// latency degrades convexly with load, diurnal background-load profiles,
+// and a session-based load tracker that lets a policy's own assignments
+// feed back into future rewards ("self-induced" congestion).
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Server models one service instance with a convex load–latency curve.
+// Latency follows an M/M/1-style curve: BaseLatency / (1 - utilization),
+// capped so overload stays finite.
+type Server struct {
+	// Name identifies the server.
+	Name string
+	// Capacity is the load (concurrent sessions, arbitrary units) at
+	// which the server saturates.
+	Capacity float64
+	// BaseLatency is the response latency in milliseconds at zero load.
+	BaseLatency float64
+}
+
+// maxUtilization caps the effective utilization so latency remains
+// finite under overload.
+const maxUtilization = 0.97
+
+// Latency returns the response latency (ms) at the given total load.
+func (s *Server) Latency(load float64) float64 {
+	if s.Capacity <= 0 {
+		panic(fmt.Sprintf("netsim: server %q has non-positive capacity", s.Name))
+	}
+	util := load / s.Capacity
+	if util < 0 {
+		util = 0
+	}
+	if util > maxUtilization {
+		util = maxUtilization
+	}
+	return s.BaseLatency / (1 - util)
+}
+
+// QoE maps a latency (ms) to a quality-of-experience reward in (0, 1]:
+// 1 at zero latency, 0.5 at the half-life latency.
+func QoE(latencyMs, halfLifeMs float64) float64 {
+	if halfLifeMs <= 0 {
+		panic("netsim: non-positive half-life")
+	}
+	return 1 / (1 + latencyMs/halfLifeMs)
+}
+
+// DiurnalProfile is a smooth time-of-day background-load pattern with a
+// trough in the early morning and a peak in the evening — the paper's
+// "trace collected during early morning hours" vs "peak hours" example.
+type DiurnalProfile struct {
+	// Low is the background load at the quietest hour.
+	Low float64
+	// High is the background load at the busiest hour.
+	High float64
+	// PeakHour is the hour of day (0–24) of maximum load (default 20).
+	PeakHour float64
+}
+
+// Load returns the background load at the given hour of day (fractional
+// hours accepted; values wrap modulo 24).
+func (p DiurnalProfile) Load(hour float64) float64 {
+	peak := p.PeakHour
+	if peak == 0 {
+		peak = 20
+	}
+	phase := 2 * math.Pi * (hour - peak) / 24
+	// cos(phase)=1 at the peak hour, -1 twelve hours away.
+	frac := (math.Cos(phase) + 1) / 2
+	return p.Low + (p.High-p.Low)*frac
+}
+
+// LoadTracker accounts for the load that prior assignments induce on
+// each server. Each assignment contributes one unit of load for
+// HoldTicks ticks of virtual time — so a burst of assignments to one
+// server degrades that server for a while, which is exactly the
+// decision–reward coupling of §4.1.
+type LoadTracker struct {
+	holdTicks int
+	now       int
+	// expiry[server] holds a ring of pending expiry times.
+	active map[string][]int
+}
+
+// NewLoadTracker creates a tracker where each assignment lasts holdTicks
+// ticks (≥ 1).
+func NewLoadTracker(holdTicks int) (*LoadTracker, error) {
+	if holdTicks < 1 {
+		return nil, errors.New("netsim: holdTicks must be >= 1")
+	}
+	return &LoadTracker{holdTicks: holdTicks, active: make(map[string][]int)}, nil
+}
+
+// Assign records one session assigned to the server at the current tick.
+func (lt *LoadTracker) Assign(server string) {
+	lt.active[server] = append(lt.active[server], lt.now+lt.holdTicks)
+}
+
+// Tick advances virtual time by one step, expiring old sessions.
+func (lt *LoadTracker) Tick() {
+	lt.now++
+	for s, expiries := range lt.active {
+		kept := expiries[:0]
+		for _, e := range expiries {
+			if e > lt.now {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 {
+			delete(lt.active, s)
+		} else {
+			lt.active[s] = kept
+		}
+	}
+}
+
+// Load returns the induced load currently active on the server.
+func (lt *LoadTracker) Load(server string) float64 {
+	return float64(len(lt.active[server]))
+}
+
+// Now returns the current tick.
+func (lt *LoadTracker) Now() int { return lt.now }

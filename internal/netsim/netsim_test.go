@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestServerLatencyMonotone(t *testing.T) {
+	s := &Server{Name: "a", Capacity: 100, BaseLatency: 10}
+	if got := s.Latency(0); got != 10 {
+		t.Fatalf("zero-load latency = %g, want 10", got)
+	}
+	prev := 0.0
+	for load := 0.0; load <= 200; load += 10 {
+		l := s.Latency(load)
+		if l < prev {
+			t.Fatalf("latency not monotone at load %g: %g < %g", load, l, prev)
+		}
+		prev = l
+	}
+	// Saturation cap keeps latency finite.
+	if l := s.Latency(1e9); math.IsInf(l, 0) || l > 10/(1-0.97)+1e-9 {
+		t.Fatalf("overload latency = %g", l)
+	}
+	// Negative load clamps to base.
+	if got := s.Latency(-5); got != 10 {
+		t.Fatalf("negative load latency = %g", got)
+	}
+}
+
+func TestServerLatencyHalfCapacity(t *testing.T) {
+	s := &Server{Name: "a", Capacity: 10, BaseLatency: 20}
+	if got := s.Latency(5); !almostEqual(got, 40, 1e-9) {
+		t.Fatalf("latency at 50%% = %g, want 40 (M/M/1)", got)
+	}
+}
+
+func TestServerPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := &Server{Name: "bad", Capacity: 0, BaseLatency: 1}
+	s.Latency(1)
+}
+
+func TestQoE(t *testing.T) {
+	if got := QoE(0, 100); got != 1 {
+		t.Fatalf("QoE(0) = %g", got)
+	}
+	if got := QoE(100, 100); got != 0.5 {
+		t.Fatalf("QoE at half-life = %g, want 0.5", got)
+	}
+	if QoE(1000, 100) >= QoE(10, 100) {
+		t.Fatal("QoE should decrease with latency")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad half-life")
+		}
+	}()
+	QoE(1, 0)
+}
+
+func TestDiurnalProfile(t *testing.T) {
+	p := DiurnalProfile{Low: 10, High: 90, PeakHour: 20}
+	if got := p.Load(20); !almostEqual(got, 90, 1e-9) {
+		t.Fatalf("peak load = %g, want 90", got)
+	}
+	if got := p.Load(8); !almostEqual(got, 10, 1e-9) {
+		t.Fatalf("trough load = %g, want 10", got)
+	}
+	// Wraps around midnight smoothly.
+	if !almostEqual(p.Load(0), p.Load(24), 1e-9) {
+		t.Fatal("profile not periodic")
+	}
+	// Default peak hour.
+	d := DiurnalProfile{Low: 0, High: 1}
+	if got := d.Load(20); !almostEqual(got, 1, 1e-9) {
+		t.Fatalf("default peak = %g", got)
+	}
+}
+
+// Property: diurnal load is always within [Low, High].
+func TestDiurnalBoundsProperty(t *testing.T) {
+	f := func(hour float64) bool {
+		p := DiurnalProfile{Low: 5, High: 50, PeakHour: 13}
+		l := p.Load(math.Mod(math.Abs(hour), 24))
+		return l >= 5-1e-9 && l <= 50+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadTrackerLifecycle(t *testing.T) {
+	lt, err := NewLoadTracker(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoadTracker(0); err == nil {
+		t.Fatal("holdTicks 0 should fail")
+	}
+	lt.Assign("a")
+	lt.Assign("a")
+	lt.Assign("b")
+	if lt.Load("a") != 2 || lt.Load("b") != 1 || lt.Load("c") != 0 {
+		t.Fatalf("loads a=%g b=%g c=%g", lt.Load("a"), lt.Load("b"), lt.Load("c"))
+	}
+	lt.Tick()
+	lt.Tick()
+	if lt.Load("a") != 2 {
+		t.Fatal("sessions expired too early")
+	}
+	lt.Tick()
+	if lt.Load("a") != 0 || lt.Load("b") != 0 {
+		t.Fatalf("sessions should have expired: a=%g b=%g", lt.Load("a"), lt.Load("b"))
+	}
+	if lt.Now() != 3 {
+		t.Fatalf("Now = %d", lt.Now())
+	}
+}
+
+func TestLoadTrackerStaggered(t *testing.T) {
+	lt, _ := NewLoadTracker(2)
+	lt.Assign("s")
+	lt.Tick()
+	lt.Assign("s")
+	if lt.Load("s") != 2 {
+		t.Fatalf("load = %g, want 2", lt.Load("s"))
+	}
+	lt.Tick()
+	if lt.Load("s") != 1 {
+		t.Fatalf("load = %g, want 1 (first expired)", lt.Load("s"))
+	}
+	lt.Tick()
+	if lt.Load("s") != 0 {
+		t.Fatalf("load = %g, want 0", lt.Load("s"))
+	}
+}
+
+func TestCouplingThroughServerAndTracker(t *testing.T) {
+	// Assignments degrade subsequent latency: the §4.1 coupling.
+	s := &Server{Name: "s", Capacity: 10, BaseLatency: 10}
+	lt, _ := NewLoadTracker(5)
+	before := s.Latency(lt.Load("s"))
+	for i := 0; i < 8; i++ {
+		lt.Assign("s")
+	}
+	after := s.Latency(lt.Load("s"))
+	if after <= before*2 {
+		t.Fatalf("8 assignments should sharply degrade latency: %g -> %g", before, after)
+	}
+}
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"drnet/internal/mathx"
+)
+
+// QueueConfig parameterizes a discrete-event M/M/c queue simulation:
+// Poisson arrivals at rate Lambda, c identical servers each with
+// exponential service at rate Mu, FIFO discipline, infinite buffer.
+//
+// This is the first-principles model behind Server's closed-form
+// load–latency curve: an M/M/1 sojourn time is 1/(µ−λ) =
+// (1/µ)/(1−ρ), i.e. BaseLatency/(1−utilization), which is exactly
+// Server.Latency. The simulator exists to validate that shortcut and to
+// generate realistic latency *distributions* (not just means) when an
+// experiment needs them.
+type QueueConfig struct {
+	// Lambda is the arrival rate (jobs per unit time).
+	Lambda float64
+	// Mu is the per-server service rate.
+	Mu float64
+	// Servers is the number of parallel servers c (default 1).
+	Servers int
+	// Jobs is how many arrivals to simulate.
+	Jobs int
+	// WarmupJobs are discarded from statistics (default Jobs/10).
+	WarmupJobs int
+}
+
+// QueueStats summarizes a queue simulation.
+type QueueStats struct {
+	// MeanSojourn is the average time a job spends in the system
+	// (waiting + service).
+	MeanSojourn float64
+	// MeanWait is the average queueing delay before service.
+	MeanWait float64
+	// P95Sojourn is the 95th percentile sojourn time.
+	P95Sojourn float64
+	// Utilization is the measured fraction of server capacity busy.
+	Utilization float64
+	// Completed is the number of jobs measured.
+	Completed int
+}
+
+// event is an entry in the simulator's future-event list.
+type event struct {
+	at   float64
+	kind int // 0 arrival, 1 departure
+	job  int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// SimulateQueue runs the discrete-event simulation and returns sojourn
+// statistics. The system must be stable: Lambda < Servers·Mu.
+func SimulateQueue(cfg QueueConfig, rng *mathx.RNG) (QueueStats, error) {
+	if cfg.Lambda <= 0 || cfg.Mu <= 0 {
+		return QueueStats{}, errors.New("netsim: rates must be positive")
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 1
+	}
+	if cfg.Jobs <= 0 {
+		return QueueStats{}, errors.New("netsim: need at least one job")
+	}
+	if cfg.Lambda >= float64(cfg.Servers)*cfg.Mu {
+		return QueueStats{}, errors.New("netsim: unstable queue (lambda >= c*mu)")
+	}
+	warmup := cfg.WarmupJobs
+	if warmup <= 0 {
+		warmup = cfg.Jobs / 10
+	}
+
+	arrivalTime := make([]float64, cfg.Jobs)
+	serviceStart := make([]float64, cfg.Jobs)
+	departTime := make([]float64, cfg.Jobs)
+
+	var fel eventHeap
+	t := 0.0
+	for j := 0; j < cfg.Jobs; j++ {
+		t += rng.Exponential(cfg.Lambda)
+		arrivalTime[j] = t
+		heap.Push(&fel, event{at: t, kind: 0, job: j})
+	}
+
+	busy := 0
+	var queue []int
+	busyTime := 0.0
+	lastT := 0.0
+	now := 0.0
+	startJob := func(j int) {
+		serviceStart[j] = now
+		d := now + rng.Exponential(cfg.Mu)
+		departTime[j] = d
+		heap.Push(&fel, event{at: d, kind: 1, job: j})
+	}
+	for fel.Len() > 0 {
+		e := heap.Pop(&fel).(event)
+		now = e.at
+		busyTime += float64(busy) * (now - lastT)
+		lastT = now
+		switch e.kind {
+		case 0:
+			if busy < cfg.Servers {
+				busy++
+				startJob(e.job)
+			} else {
+				queue = append(queue, e.job)
+			}
+		case 1:
+			if len(queue) > 0 {
+				next := queue[0]
+				queue = queue[1:]
+				startJob(next)
+			} else {
+				busy--
+			}
+		}
+	}
+
+	var sojourns, waits []float64
+	for j := warmup; j < cfg.Jobs; j++ {
+		sojourns = append(sojourns, departTime[j]-arrivalTime[j])
+		waits = append(waits, serviceStart[j]-arrivalTime[j])
+	}
+	if len(sojourns) == 0 {
+		return QueueStats{}, errors.New("netsim: warmup discarded every job")
+	}
+	return QueueStats{
+		MeanSojourn: mathx.Mean(sojourns),
+		MeanWait:    mathx.Mean(waits),
+		P95Sojourn:  mathx.Quantile(sojourns, 0.95),
+		Utilization: busyTime / (now * float64(cfg.Servers)),
+		Completed:   len(sojourns),
+	}, nil
+}
+
+// MM1Sojourn returns the analytic mean sojourn time of an M/M/1 queue:
+// 1/(µ−λ).
+func MM1Sojourn(lambda, mu float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}

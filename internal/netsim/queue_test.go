@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestSimulateQueueMatchesMM1Theory(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	for _, rho := range []float64{0.3, 0.6, 0.8} {
+		mu := 1.0
+		lambda := rho * mu
+		stats, err := SimulateQueue(QueueConfig{
+			Lambda: lambda, Mu: mu, Jobs: 200000,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := MM1Sojourn(lambda, mu)
+		if rel := math.Abs(stats.MeanSojourn-want) / want; rel > 0.05 {
+			t.Fatalf("rho=%.1f: mean sojourn %g, theory %g (rel err %g)",
+				rho, stats.MeanSojourn, want, rel)
+		}
+		// Little's-law style sanity: utilization ≈ rho.
+		if math.Abs(stats.Utilization-rho) > 0.03 {
+			t.Fatalf("rho=%.1f: measured utilization %g", rho, stats.Utilization)
+		}
+		// Wait + service = sojourn: mean wait ≈ sojourn − 1/µ.
+		if math.Abs(stats.MeanWait-(stats.MeanSojourn-1/mu)) > 0.05*want {
+			t.Fatalf("rho=%.1f: wait %g inconsistent with sojourn %g", rho, stats.MeanWait, stats.MeanSojourn)
+		}
+	}
+}
+
+func TestSimulateQueueMultiServer(t *testing.T) {
+	// M/M/2 with the same total capacity waits LESS than M/M/1 at equal
+	// utilization (resource pooling).
+	rng := mathx.NewRNG(2)
+	single, err := SimulateQueue(QueueConfig{Lambda: 0.8, Mu: 1, Servers: 1, Jobs: 100000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := SimulateQueue(QueueConfig{Lambda: 1.6, Mu: 1, Servers: 2, Jobs: 100000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if double.MeanWait >= single.MeanWait {
+		t.Fatalf("M/M/2 wait %g should beat M/M/1 wait %g at equal utilization",
+			double.MeanWait, single.MeanWait)
+	}
+}
+
+func TestSimulateQueueValidation(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	cases := []QueueConfig{
+		{Lambda: 0, Mu: 1, Jobs: 10},
+		{Lambda: 1, Mu: 0, Jobs: 10},
+		{Lambda: 1, Mu: 1, Jobs: 10},            // unstable
+		{Lambda: 2, Mu: 1, Servers: 1, Jobs: 5}, // unstable
+		{Lambda: 0.5, Mu: 1, Jobs: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := SimulateQueue(cfg, rng); err == nil {
+			t.Fatalf("case %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSimulateQueueP95AboveMean(t *testing.T) {
+	rng := mathx.NewRNG(4)
+	stats, err := SimulateQueue(QueueConfig{Lambda: 0.7, Mu: 1, Jobs: 50000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.P95Sojourn <= stats.MeanSojourn {
+		t.Fatalf("p95 %g should exceed the mean %g for an exponential-ish tail",
+			stats.P95Sojourn, stats.MeanSojourn)
+	}
+	if stats.Completed <= 0 {
+		t.Fatal("no completed jobs measured")
+	}
+}
+
+func TestServerLatencyMatchesQueueTheoryShape(t *testing.T) {
+	// Server.Latency(load) = BaseLatency/(1-util) is the M/M/1 sojourn
+	// formula with BaseLatency = 1/µ. Verify agreement against the
+	// discrete-event simulation at a moderate load.
+	rng := mathx.NewRNG(5)
+	mu := 1.0
+	lambda := 0.6
+	stats, err := SimulateQueue(QueueConfig{Lambda: lambda, Mu: mu, Jobs: 150000}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{Name: "q", Capacity: 1, BaseLatency: 1 / mu}
+	closed := s.Latency(lambda / mu) // utilization as "load/capacity"
+	if rel := math.Abs(stats.MeanSojourn-closed) / closed; rel > 0.05 {
+		t.Fatalf("closed-form %g vs simulated %g (rel err %g)", closed, stats.MeanSojourn, rel)
+	}
+}
+
+func TestMM1SojournUnstable(t *testing.T) {
+	if !math.IsInf(MM1Sojourn(2, 1), 1) {
+		t.Fatal("unstable queue should have infinite sojourn")
+	}
+}

@@ -1,0 +1,207 @@
+// Package tcp is a fluid-level congestion-control simulator for the
+// paper's §2 use case: "prior work on TCP congestion control uses
+// traces of packet-level events (e.g., round-trip time, packet loss) to
+// benchmark TCP congestion control performance under same network
+// conditions" [7, 11, 43].
+//
+// The simulator runs per-RTT rounds over a single drop-tail bottleneck
+// with random cross traffic. It supports two evaluation modes:
+//
+//   - Closed loop: the protocol's own window determines queue overflow
+//     and hence its loss events (ground truth).
+//   - Trace replay: a loss/capacity trace recorded while protocol A was
+//     running is replayed against protocol B, assuming the environment
+//     is independent of the protocol's behaviour.
+//
+// The gap between the two quantifies, for congestion control, the same
+// endogeneity the paper's §4.1 calls "hidden decision-reward coupling":
+// loss is not an exogenous process; it is partly self-inflicted, so a
+// trace recorded under a gentle protocol understates what an aggressive
+// one would have suffered (and vice versa). Experiment E12 reports it.
+package tcp
+
+import (
+	"errors"
+
+	"drnet/internal/mathx"
+)
+
+// Protocol is a per-RTT congestion-control algorithm: it exposes its
+// current window and reacts to ack/loss feedback.
+type Protocol interface {
+	// Window returns the current congestion window (packets per RTT).
+	Window() float64
+	// OnRound advances one RTT with the given loss indicator.
+	OnRound(loss bool)
+	// Reset restores the initial state.
+	Reset()
+}
+
+// Reno is classic AIMD: +1 packet per RTT, multiplicative decrease 1/2
+// on loss.
+type Reno struct {
+	cwnd float64
+}
+
+// Window implements Protocol.
+func (r *Reno) Window() float64 {
+	if r.cwnd < 1 {
+		r.cwnd = 1
+	}
+	return r.cwnd
+}
+
+// OnRound implements Protocol.
+func (r *Reno) OnRound(loss bool) {
+	if loss {
+		r.cwnd = r.Window() / 2
+	} else {
+		r.cwnd = r.Window() + 1
+	}
+	if r.cwnd < 1 {
+		r.cwnd = 1
+	}
+}
+
+// Reset implements Protocol.
+func (r *Reno) Reset() { r.cwnd = 1 }
+
+// Aggressive is a faster-probing AIMD (additive increase k packets per
+// RTT, gentler backoff), standing in for high-speed variants.
+type Aggressive struct {
+	// Increase is the per-RTT additive increase (default 4).
+	Increase float64
+	// Backoff is the multiplicative decrease factor (default 0.7).
+	Backoff float64
+	cwnd    float64
+}
+
+// Window implements Protocol.
+func (a *Aggressive) Window() float64 {
+	if a.cwnd < 1 {
+		a.cwnd = 1
+	}
+	return a.cwnd
+}
+
+// OnRound implements Protocol.
+func (a *Aggressive) OnRound(loss bool) {
+	inc := a.Increase
+	if inc <= 0 {
+		inc = 4
+	}
+	back := a.Backoff
+	if back <= 0 || back >= 1 {
+		back = 0.7
+	}
+	if loss {
+		a.cwnd = a.Window() * back
+	} else {
+		a.cwnd = a.Window() + inc
+	}
+	if a.cwnd < 1 {
+		a.cwnd = 1
+	}
+}
+
+// Reset implements Protocol.
+func (a *Aggressive) Reset() { a.cwnd = 1 }
+
+// Link is the bottleneck environment.
+type Link struct {
+	// CapacityPkts is the bottleneck bandwidth in packets per RTT.
+	CapacityPkts float64
+	// QueuePkts is the drop-tail queue size in packets.
+	QueuePkts float64
+	// CrossMean/CrossStd parameterize per-round cross traffic
+	// (truncated normal, packets per RTT).
+	CrossMean, CrossStd float64
+}
+
+// RoundRecord is one per-RTT trace entry.
+type RoundRecord struct {
+	// Available is the capacity left after cross traffic.
+	Available float64
+	// Loss reports whether the round ended in queue overflow.
+	Loss bool
+	// Delivered is the protocol's goodput that round.
+	Delivered float64
+}
+
+// RunClosedLoop simulates the protocol against the link for rounds
+// RTTs: the protocol's own window interacts with cross traffic to
+// produce losses. It returns the per-round trace and the mean goodput
+// (packets per RTT).
+func RunClosedLoop(p Protocol, link Link, rounds int, rng *mathx.RNG) ([]RoundRecord, float64, error) {
+	if rounds <= 0 {
+		return nil, 0, errors.New("tcp: need at least one round")
+	}
+	if link.CapacityPkts <= 0 || link.QueuePkts < 0 {
+		return nil, 0, errors.New("tcp: invalid link")
+	}
+	p.Reset()
+	trace := make([]RoundRecord, rounds)
+	total := 0.0
+	for i := 0; i < rounds; i++ {
+		cross := link.CrossMean + rng.Normal(0, link.CrossStd)
+		if cross < 0 {
+			cross = 0
+		}
+		if cross > link.CapacityPkts {
+			cross = link.CapacityPkts
+		}
+		avail := link.CapacityPkts - cross
+		w := p.Window()
+		// Drop-tail: overflow when the window exceeds the available
+		// bandwidth-delay product plus queue headroom.
+		loss := w > avail+link.QueuePkts
+		delivered := w
+		if delivered > avail {
+			delivered = avail
+		}
+		trace[i] = RoundRecord{Available: avail, Loss: loss, Delivered: delivered}
+		total += delivered
+		p.OnRound(loss)
+	}
+	return trace, total / float64(rounds), nil
+}
+
+// ReplayTrace evaluates a protocol against a recorded trace the way
+// replay-based CC benchmarks do: the recorded loss events and available
+// bandwidth are treated as an exogenous environment. It returns the
+// estimated mean goodput.
+//
+// The estimate is biased whenever the evaluated protocol's window
+// process differs from the recording protocol's, because in reality
+// losses depend on the window (self-induced queue overflow) — the
+// §4.1 coupling, in congestion-control form.
+func ReplayTrace(p Protocol, trace []RoundRecord) (float64, error) {
+	if len(trace) == 0 {
+		return 0, errors.New("tcp: empty trace")
+	}
+	p.Reset()
+	total := 0.0
+	for _, rec := range trace {
+		delivered := p.Window()
+		if delivered > rec.Available {
+			delivered = rec.Available
+		}
+		total += delivered
+		p.OnRound(rec.Loss)
+	}
+	return total / float64(len(trace)), nil
+}
+
+// LossRate returns the fraction of rounds with loss in a trace.
+func LossRate(trace []RoundRecord) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	n := 0
+	for _, rec := range trace {
+		if rec.Loss {
+			n++
+		}
+	}
+	return float64(n) / float64(len(trace))
+}

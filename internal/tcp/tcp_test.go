@@ -1,0 +1,145 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func testLink() Link {
+	return Link{CapacityPkts: 100, QueuePkts: 30, CrossMean: 20, CrossStd: 5}
+}
+
+func TestRenoSawtooth(t *testing.T) {
+	r := &Reno{}
+	r.Reset()
+	for i := 0; i < 10; i++ {
+		r.OnRound(false)
+	}
+	if r.Window() != 11 {
+		t.Fatalf("cwnd after 10 clean rounds = %g, want 11", r.Window())
+	}
+	r.OnRound(true)
+	if r.Window() != 5.5 {
+		t.Fatalf("cwnd after loss = %g, want halved", r.Window())
+	}
+	// Window never drops below 1.
+	for i := 0; i < 20; i++ {
+		r.OnRound(true)
+	}
+	if r.Window() < 1 {
+		t.Fatalf("cwnd %g below 1", r.Window())
+	}
+}
+
+func TestAggressiveDefaultsAndBehaviour(t *testing.T) {
+	a := &Aggressive{}
+	a.Reset()
+	a.OnRound(false)
+	if a.Window() != 5 { // 1 + default increase 4
+		t.Fatalf("cwnd = %g, want 5", a.Window())
+	}
+	a.OnRound(true)
+	if math.Abs(a.Window()-3.5) > 1e-12 { // 5 * 0.7
+		t.Fatalf("cwnd after loss = %g, want 3.5", a.Window())
+	}
+}
+
+func TestRunClosedLoopValidation(t *testing.T) {
+	rng := mathx.NewRNG(1)
+	if _, _, err := RunClosedLoop(&Reno{}, testLink(), 0, rng); err == nil {
+		t.Fatal("zero rounds should fail")
+	}
+	if _, _, err := RunClosedLoop(&Reno{}, Link{}, 10, rng); err == nil {
+		t.Fatal("invalid link should fail")
+	}
+	if _, err := ReplayTrace(&Reno{}, nil); err == nil {
+		t.Fatal("empty trace should fail")
+	}
+}
+
+func TestClosedLoopUtilization(t *testing.T) {
+	rng := mathx.NewRNG(2)
+	trace, goodput, err := RunClosedLoop(&Reno{}, testLink(), 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reno should achieve a sizable share of the ~80 pkts/RTT available
+	// (AIMD sawtooth averages ~75% of the peak) without exceeding it.
+	if goodput < 40 || goodput > 80 {
+		t.Fatalf("Reno goodput %g pkts/RTT implausible", goodput)
+	}
+	if lr := LossRate(trace); lr <= 0 || lr > 0.2 {
+		t.Fatalf("loss rate %g implausible", lr)
+	}
+}
+
+func TestAggressiveSuffersMoreLossButGainsThroughput(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	renoTrace, renoGoodput, err := RunClosedLoop(&Reno{}, testLink(), 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = mathx.NewRNG(3) // same cross-traffic realization
+	aggTrace, aggGoodput, err := RunClosedLoop(&Aggressive{}, testLink(), 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LossRate(aggTrace) <= LossRate(renoTrace) {
+		t.Fatalf("aggressive protocol should self-induce more loss: %g vs %g",
+			LossRate(aggTrace), LossRate(renoTrace))
+	}
+	if aggGoodput <= renoGoodput {
+		t.Fatalf("aggressive protocol should gain throughput alone on the link: %g vs %g",
+			aggGoodput, renoGoodput)
+	}
+}
+
+func TestReplayBiasIsEndogenous(t *testing.T) {
+	// The §2/§4.1 point: replaying a Reno-recorded loss trace
+	// overestimates an aggressive protocol (it would have induced more
+	// loss than the trace contains).
+	rng := mathx.NewRNG(4)
+	renoTrace, _, err := RunClosedLoop(&Reno{}, testLink(), 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayEst, err := ReplayTrace(&Aggressive{}, renoTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = mathx.NewRNG(4)
+	_, truth, err := RunClosedLoop(&Aggressive{}, testLink(), 5000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayEst <= truth {
+		t.Fatalf("replay of a gentle protocol's trace should overestimate the aggressive one: replay %g vs truth %g",
+			replayEst, truth)
+	}
+}
+
+func TestReplayIsConsistentForSameProtocol(t *testing.T) {
+	// Replaying a protocol against its own recorded trace reproduces
+	// its goodput (the window process regenerates identically from the
+	// same loss sequence).
+	rng := mathx.NewRNG(5)
+	trace, goodput, err := RunClosedLoop(&Reno{}, testLink(), 3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReplayTrace(&Reno{}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(replay-goodput) > 1e-9 {
+		t.Fatalf("self-replay %g != closed loop %g", replay, goodput)
+	}
+}
+
+func TestLossRateEmpty(t *testing.T) {
+	if LossRate(nil) != 0 {
+		t.Fatal("empty trace loss rate should be 0")
+	}
+}

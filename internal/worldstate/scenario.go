@@ -1,0 +1,175 @@
+package worldstate
+
+import (
+	"errors"
+	"fmt"
+
+	"drnet/internal/core"
+	"drnet/internal/mathx"
+	"drnet/internal/netsim"
+)
+
+// Hours used by the canonical experiment: the paper's "trace collected
+// during early morning hours" evaluated for "peak hours".
+const (
+	MorningHour = 6.0
+	PeakHour    = 20.0
+)
+
+// Scenario is the E4 world: clients of several classes choose among
+// servers whose latency depends on diurnal background load. A trace
+// logged in the morning state is used to evaluate a policy for the peak
+// state.
+type Scenario struct {
+	// Servers are the candidate servers.
+	Servers []netsim.Server
+	// LoadWeights scales the shared diurnal background load per server
+	// (len must equal len(Servers)); heterogeneous sensitivity makes
+	// the state shift server-dependent.
+	LoadWeights []float64
+	// Profile is the shared diurnal background-load profile.
+	Profile netsim.DiurnalProfile
+	// NumClasses is the number of client classes.
+	NumClasses int
+	// AffinityStd scales the per-(class, server) quality offsets
+	// (proximity, peering); state-independent.
+	AffinityStd float64
+	// NoiseStd is the per-session reward noise.
+	NoiseStd float64
+	// Epsilon is the logging policy's exploration rate.
+	Epsilon float64
+	// HalfLifeMs converts latency to QoE (netsim.QoE).
+	HalfLifeMs float64
+
+	affinity [][]float64
+}
+
+// DefaultScenario returns a three-server, four-class world.
+func DefaultScenario() *Scenario {
+	return &Scenario{
+		Servers: []netsim.Server{
+			{Name: "s0", Capacity: 100, BaseLatency: 20},
+			{Name: "s1", Capacity: 60, BaseLatency: 12},
+			{Name: "s2", Capacity: 150, BaseLatency: 35},
+		},
+		LoadWeights: []float64{1.0, 1.4, 0.7},
+		Profile:     netsim.DiurnalProfile{Low: 20, High: 85, PeakHour: PeakHour},
+		NumClasses:  4,
+		AffinityStd: 0.08,
+		NoiseStd:    0.03,
+		Epsilon:     0.15,
+		HalfLifeMs:  80,
+	}
+}
+
+// Init draws the class-server affinities.
+func (s *Scenario) Init(rng *mathx.RNG) error {
+	if len(s.Servers) < 2 {
+		return errors.New("worldstate: need at least two servers")
+	}
+	if len(s.LoadWeights) != len(s.Servers) {
+		return fmt.Errorf("worldstate: %d load weights for %d servers", len(s.LoadWeights), len(s.Servers))
+	}
+	if s.NumClasses < 1 {
+		return errors.New("worldstate: need at least one class")
+	}
+	if s.Epsilon <= 0 || s.Epsilon >= 1 {
+		return errors.New("worldstate: Epsilon must be in (0,1)")
+	}
+	s.affinity = make([][]float64, s.NumClasses)
+	for c := range s.affinity {
+		s.affinity[c] = make([]float64, len(s.Servers))
+		for v := range s.affinity[c] {
+			s.affinity[c][v] = rng.Normal(0, s.AffinityStd)
+		}
+	}
+	return nil
+}
+
+// TrueReward is the exact expected QoE of class c on server v at the
+// given hour.
+func (s *Scenario) TrueReward(c, v int, hour float64) float64 {
+	if s.affinity == nil {
+		panic("worldstate: scenario not initialized")
+	}
+	load := s.Profile.Load(hour) * s.LoadWeights[v]
+	lat := s.Servers[v].Latency(load)
+	return netsim.QoE(lat, s.HalfLifeMs) + s.affinity[c][v]
+}
+
+// OldPolicy explores ε-greedily around each class's best morning-state
+// server — the policy an operator tuned on morning traffic.
+func (s *Scenario) OldPolicy() core.Policy[int, int] {
+	decisions := make([]int, len(s.Servers))
+	for i := range decisions {
+		decisions[i] = i
+	}
+	return core.EpsilonGreedyPolicy[int, int]{
+		Base: func(c int) int {
+			best, bestV := 0, -1e300
+			for v := range s.Servers {
+				if r := s.TrueReward(c, v, MorningHour); r > bestV {
+					bestV, best = r, v
+				}
+			}
+			return best
+		},
+		Decisions: decisions,
+		Epsilon:   s.Epsilon,
+	}
+}
+
+// NewPolicy is the candidate policy under evaluation: it selects each
+// class's best server for the PEAK state (as an oracle would); the
+// question the evaluator must answer is what QoE this policy achieves at
+// peak, given mostly morning data.
+func (s *Scenario) NewPolicy() core.Policy[int, int] {
+	return core.DeterministicPolicy[int, int]{Choose: func(c int) int {
+		best, bestV := 0, -1e300
+		for v := range s.Servers {
+			if r := s.TrueReward(c, v, PeakHour); r > bestV {
+				bestV, best = r, v
+			}
+		}
+		return best
+	}}
+}
+
+// Data is a state-tagged collected trace.
+type Data struct {
+	Trace    core.Trace[int, int]
+	Contexts []int
+	Hour     float64
+	Scenario *Scenario
+}
+
+// Collect logs n sessions under the old policy with the background load
+// of the given hour.
+func (s *Scenario) Collect(n int, hour float64, rng *mathx.RNG) (*Data, error) {
+	if s.affinity == nil {
+		return nil, errors.New("worldstate: scenario not initialized (call Init)")
+	}
+	if n <= 0 {
+		return nil, errors.New("worldstate: need at least one session")
+	}
+	classes := make([]int, n)
+	for i := range classes {
+		classes[i] = rng.Intn(s.NumClasses)
+	}
+	trace := core.CollectTrace(classes, s.OldPolicy(), func(c, v int) float64 {
+		return s.TrueReward(c, v, hour) + rng.Normal(0, s.NoiseStd)
+	}, rng)
+	return &Data{Trace: trace, Contexts: classes, Hour: hour, Scenario: s}, nil
+}
+
+// GroundTruth is the exact expected reward of a policy at this data's
+// hour, over the logged class mix.
+func (d *Data) GroundTruth(p core.Policy[int, int]) float64 {
+	return core.TrueValue(d.Contexts, p, func(c, v int) float64 {
+		return d.Scenario.TrueReward(c, v, d.Hour)
+	})
+}
+
+// ServerGroup keys calibration samples by server, the natural grouping
+// for fitting the morning→peak transition.
+func ServerGroup(_ int, v int) string { return fmt.Sprintf("s%d", v) }

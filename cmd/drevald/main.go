@@ -23,7 +23,14 @@
 //
 // Usage:
 //
-//	drevald [-addr :8080]
+//	drevald [-addr :8080] [-workers 0]
+//
+// Requests are served concurrently by net/http; within each request the
+// bootstrap resamples run on a shared worker pool -workers wide (0 =
+// GOMAXPROCS). Bootstrap intervals are computed with one independent
+// PCG stream per resample derived from options.seed, so responses are
+// bit-identical at every worker count. The server drains in-flight
+// requests on SIGINT or SIGTERM before exiting.
 package main
 
 import (
@@ -32,44 +39,85 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"drnet/internal/core"
-	"drnet/internal/mathx"
+	"drnet/internal/parallel"
 	"drnet/internal/traceio"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool width for per-request bootstrap resampling (0 = GOMAXPROCS)")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newMux(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      60 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+	srv, err := newServer(*addr)
+	if err != nil {
+		log.Fatalf("drevald: %v", err)
 	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	log.Printf("drevald listening on %s", srv.addr())
+	if err := srv.run(stop); err != nil {
+		log.Fatalf("drevald: %v", err)
+	}
+}
+
+// drainTimeout bounds how long shutdown waits for in-flight requests.
+const drainTimeout = 10 * time.Second
+
+// server bundles the HTTP server with its listener so tests can bind
+// to :0 and drive the full serve/shutdown lifecycle in-process.
+type server struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+func newServer(addr string) (*server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &server{
+		srv: &http.Server{
+			Handler:           newMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			WriteTimeout:      60 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		},
+		ln: ln,
+	}, nil
+}
+
+func (s *server) addr() string { return s.ln.Addr().String() }
+
+// run serves until stop delivers a signal (SIGINT or SIGTERM in
+// production), then shuts down gracefully: the listener closes
+// immediately and in-flight requests get up to drainTimeout to finish.
+func (s *server) run(stop <-chan os.Signal) error {
+	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("drevald listening on %s", *addr)
-		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("drevald: %v", err)
+		if err := s.srv.Serve(s.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			serveErr <- err
 		}
 	}()
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	<-stop
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("drevald: shutdown: %v", err)
+	select {
+	case <-stop:
+	case err := <-serveErr:
+		return err
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
 }
 
 // newMux wires the service handlers; separated from main for testing.
@@ -140,38 +188,45 @@ type evalResponse struct {
 // maxBodyBytes bounds request bodies (64 MiB).
 const maxBodyBytes = 64 << 20
 
-func decodeRequest(w http.ResponseWriter, r *http.Request) (*evalRequest, core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], bool) {
+// parseEvalRequest decodes and validates an /evaluate or /diagnose
+// request body. It is independent of net/http so the fuzz harness can
+// drive it with arbitrary bytes: malformed input must produce an error,
+// never a panic.
+func parseEvalRequest(body io.Reader) (*evalRequest, core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], error) {
 	var req evalRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
-		return nil, nil, nil, false
+		return nil, nil, nil, fmt.Errorf("invalid request body: %v", err)
 	}
 	if len(req.Trace) == 0 {
-		httpError(w, http.StatusBadRequest, "empty trace")
-		return nil, nil, nil, false
+		return nil, nil, nil, errors.New("empty trace")
 	}
 	trace := traceio.ToCore(traceio.FlatTrace{Records: req.Trace})
 	if req.Options.EstimatePropensities {
 		if err := core.EstimatePropensities(trace, func(c traceio.FlatContext) string {
 			return c.Key()
 		}, 5, 1e-3); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("propensity estimation: %v", err))
-			return nil, nil, nil, false
+			return nil, nil, nil, fmt.Errorf("propensity estimation: %v", err)
 		}
 	}
 	if err := trace.Validate(); err != nil {
-		httpError(w, http.StatusBadRequest,
-			fmt.Sprintf("%v (set options.estimatePropensities if the trace has none)", err))
-		return nil, nil, nil, false
+		return nil, nil, nil, fmt.Errorf("%v (set options.estimatePropensities if the trace has none)", err)
 	}
 	policy, err := traceio.ParsePolicy(req.Policy, trace)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &req, trace, policy, nil
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request) (*evalRequest, core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], bool) {
+	req, trace, policy, err := parseEvalRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return nil, nil, nil, false
 	}
-	return &req, trace, policy, true
+	return req, trace, policy, true
 }
 
 func handleDiagnose(w http.ResponseWriter, r *http.Request) {
@@ -221,11 +276,12 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		if seed == 0 {
 			seed = 1
 		}
-		rng := mathx.NewRNG(seed)
-		ci, err := core.Bootstrap(trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
+		// Sharded bootstrap: resamples run on the worker pool, one PCG
+		// stream per resample, so the interval depends only on the seed.
+		ci, err := core.BootstrapSeeded(trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
 			m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
 			return core.DoublyRobust(t, policy, m, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
-		}, rng, b, 0.95)
+		}, seed, b, 0.95)
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 			return

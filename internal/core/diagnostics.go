@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"drnet/internal/mathx"
+	"drnet/internal/parallel"
 )
 
 // Diagnostics summarizes how well a trace supports evaluating a target
@@ -118,6 +119,65 @@ func Bootstrap[C any, D comparable](t Trace[C, D], est Estimator[C, D], rng *mat
 			continue
 		}
 		values = append(values, e.Value)
+	}
+	if len(values) == 0 {
+		return Interval{}, fmt.Errorf("core: all bootstrap resamples failed: %w", lastErr)
+	}
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    mathx.Quantile(values, alpha),
+		Hi:    mathx.Quantile(values, 1-alpha),
+		Level: level,
+	}, nil
+}
+
+// BootstrapSeeded computes the same percentile bootstrap interval as
+// Bootstrap, but runs the b resamples on the shared worker pool with
+// one independent PCG stream per resample (parallel.ShardedRNG shard i
+// drives resample i). The interval is therefore a pure function of
+// (t, est, seed, b, level): bit-identical at every worker count,
+// including 1. This is the variant drevald serves — bootstrap CIs
+// dominate /evaluate latency, and resamples are embarrassingly
+// parallel.
+//
+// Resamples on which the estimator fails are skipped, as in Bootstrap;
+// if every resample fails, the error of the last (highest-index)
+// failing resample is returned.
+func BootstrapSeeded[C any, D comparable](t Trace[C, D], est Estimator[C, D], seed int64, b int, level float64) (Interval, error) {
+	if len(t) == 0 {
+		return Interval{}, ErrEmptyTrace
+	}
+	if b <= 0 {
+		b = 200
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("core: confidence level %g out of (0,1)", level)
+	}
+	type draw struct {
+		value float64
+		err   error
+	}
+	sh := parallel.NewShardedRNG(seed)
+	draws, _ := parallel.Times(b, 0, func(i int) (draw, error) {
+		rng := sh.Shard(i)
+		resample := make(Trace[C, D], len(t))
+		for j := range resample {
+			resample[j] = t[rng.Intn(len(t))]
+		}
+		e, err := est(resample)
+		if err != nil {
+			return draw{err: err}, nil
+		}
+		return draw{value: e.Value}, nil
+	})
+	values := make([]float64, 0, b)
+	var lastErr error
+	for _, d := range draws {
+		if d.err != nil {
+			lastErr = d.err
+			continue
+		}
+		values = append(values, d.value)
 	}
 	if len(values) == 0 {
 		return Interval{}, fmt.Errorf("core: all bootstrap resamples failed: %w", lastErr)

@@ -51,19 +51,26 @@ func DirectMethod[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], mo
 		return Estimate{}, ErrEmptyTrace
 	}
 	contrib := make([]float64, len(t))
-	for i, rec := range t {
-		dist := newPolicy.Distribution(rec.Context)
-		if err := ValidateDistribution(dist); err != nil {
-			return Estimate{}, fmt.Errorf("record %d: %w", i, err)
-		}
-		v := 0.0
-		for _, w := range dist {
-			if w.Prob == 0 {
-				continue
+	err := forEachRecord(len(t), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rec := t[i]
+			dist := newPolicy.Distribution(rec.Context)
+			if err := ValidateDistribution(dist); err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
 			}
-			v += w.Prob * model.Predict(rec.Context, w.Decision)
+			v := 0.0
+			for _, w := range dist {
+				if w.Prob == 0 {
+					continue
+				}
+				v += w.Prob * model.Predict(rec.Context, w.Decision)
+			}
+			contrib[i] = v
 		}
-		contrib[i] = v
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
 	}
 	return summarizeContributions(contrib), nil
 }
@@ -97,18 +104,19 @@ func IPS[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], opts IPSOpt
 	}
 	weights := make([]float64, len(t))
 	contrib := make([]float64, len(t))
-	maxW := 0.0
-	for i, rec := range t {
-		w := Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
-		if opts.Clip > 0 && w > opts.Clip {
-			w = opts.Clip
+	_ = forEachRecord(len(t), func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rec := t[i]
+			w := Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
+			if opts.Clip > 0 && w > opts.Clip {
+				w = opts.Clip
+			}
+			weights[i] = w
+			contrib[i] = w * rec.Reward
 		}
-		weights[i] = w
-		contrib[i] = w * rec.Reward
-		if w > maxW {
-			maxW = w
-		}
-	}
+		return nil
+	})
+	maxW := maxWeight(weights)
 	var est Estimate
 	if opts.SelfNormalize {
 		est.Value = mathx.WeightedMean(t.Rewards(), weights)
@@ -162,30 +170,34 @@ func DoublyRobust[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], mo
 	dmPart := make([]float64, n)
 	weights := make([]float64, n)
 	resid := make([]float64, n)
-	maxW := 0.0
-	for i, rec := range t {
-		dist := newPolicy.Distribution(rec.Context)
-		if err := ValidateDistribution(dist); err != nil {
-			return Estimate{}, fmt.Errorf("record %d: %w", i, err)
-		}
-		dm := 0.0
-		for _, w := range dist {
-			if w.Prob == 0 {
-				continue
+	err := forEachRecord(n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rec := t[i]
+			dist := newPolicy.Distribution(rec.Context)
+			if err := ValidateDistribution(dist); err != nil {
+				return fmt.Errorf("record %d: %w", i, err)
 			}
-			dm += w.Prob * model.Predict(rec.Context, w.Decision)
+			dm := 0.0
+			for _, w := range dist {
+				if w.Prob == 0 {
+					continue
+				}
+				dm += w.Prob * model.Predict(rec.Context, w.Decision)
+			}
+			dmPart[i] = dm
+			w := Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
+			if opts.Clip > 0 && w > opts.Clip {
+				w = opts.Clip
+			}
+			weights[i] = w
+			resid[i] = rec.Reward - model.Predict(rec.Context, rec.Decision)
 		}
-		dmPart[i] = dm
-		w := Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
-		if opts.Clip > 0 && w > opts.Clip {
-			w = opts.Clip
-		}
-		weights[i] = w
-		resid[i] = rec.Reward - model.Predict(rec.Context, rec.Decision)
-		if w > maxW {
-			maxW = w
-		}
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
 	}
+	maxW := maxWeight(weights)
 
 	contrib := make([]float64, n)
 	if opts.SelfNormalize {
@@ -238,6 +250,19 @@ func MatchedRewards[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D]) 
 // ErrNoMatches is returned by MatchedRewards when the new policy agrees
 // with the logged decision on zero records.
 var ErrNoMatches = fmt.Errorf("core: no records match the new policy's decisions")
+
+// maxWeight scans for the largest weight; a sequential post-pass so
+// the parallel fill loops stay index-pure (NaN weights are skipped,
+// matching the old in-loop `w > maxW` comparison).
+func maxWeight(ws []float64) float64 {
+	maxW := 0.0
+	for _, w := range ws {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return maxW
+}
 
 func argmax[D comparable](dist []Weighted[D]) D {
 	best := dist[0]

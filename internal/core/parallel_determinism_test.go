@@ -1,0 +1,192 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"drnet/internal/mathx"
+	"drnet/internal/parallel"
+)
+
+// workerCounts are the counts the acceptance criteria require the
+// determinism tests to sweep.
+var workerCounts = []int{1, 2, 8}
+
+// withParallelism runs fn with the given pool width and a low enough
+// threshold that a testSizeN-record trace takes the parallel path, then
+// restores both knobs.
+func withParallelism(t *testing.T, workers, threshold int, fn func()) {
+	t.Helper()
+	oldThreshold := ParallelThreshold
+	ParallelThreshold = threshold
+	parallel.SetDefaultWorkers(workers)
+	defer func() {
+		ParallelThreshold = oldThreshold
+		parallel.SetDefaultWorkers(0)
+	}()
+	fn()
+}
+
+func determinismTrace(n int) (Trace[float64, int], Policy[float64, int], RewardModel[float64, int]) {
+	rng := mathx.NewRNG(1234)
+	old := EpsilonGreedyPolicy[float64, int]{
+		Base:      func(float64) int { return 0 },
+		Decisions: []int{0, 1, 2},
+		Epsilon:   0.3,
+	}
+	ctxs := make([]float64, n)
+	for i := range ctxs {
+		ctxs[i] = rng.Float64()
+	}
+	trueReward := func(x float64, d int) float64 { return x * float64(d+1) }
+	tr := CollectTrace(ctxs, old, func(x float64, d int) float64 {
+		return trueReward(x, d) + rng.Normal(0, 0.2)
+	}, rng)
+	np := EpsilonGreedyPolicy[float64, int]{
+		Base:      func(float64) int { return 2 },
+		Decisions: []int{0, 1, 2},
+		Epsilon:   0.1,
+	}
+	// A slightly biased model so DR's correction term is non-trivial.
+	model := RewardFunc[float64, int](func(x float64, d int) float64 {
+		return trueReward(x, d) + 0.15
+	})
+	return tr, np, model
+}
+
+// TestEstimatorsParallelBitIdentical asserts that DM, IPS and DR return
+// exactly the same Estimate — every float field bit-for-bit — whether
+// the contribution loop runs sequentially or chunked over 1, 2 or 8
+// workers.
+func TestEstimatorsParallelBitIdentical(t *testing.T) {
+	const n = 5000
+	tr, np, model := determinismTrace(n)
+
+	type variant struct {
+		name string
+		run  func() (Estimate, error)
+	}
+	variants := []variant{
+		{"DM", func() (Estimate, error) { return DirectMethod(tr, np, model) }},
+		{"IPS", func() (Estimate, error) { return IPS(tr, np, IPSOptions{}) }},
+		{"IPS clip", func() (Estimate, error) { return IPS(tr, np, IPSOptions{Clip: 3}) }},
+		{"SNIPS", func() (Estimate, error) { return IPS(tr, np, IPSOptions{SelfNormalize: true}) }},
+		{"DR", func() (Estimate, error) { return DoublyRobust(tr, np, model, DROptions{}) }},
+		{"DR clip+norm", func() (Estimate, error) {
+			return DoublyRobust(tr, np, model, DROptions{Clip: 3, SelfNormalize: true})
+		}},
+	}
+	for _, v := range variants {
+		// Reference: forced-sequential (threshold above the trace size).
+		var want Estimate
+		withParallelism(t, 1, n+1, func() {
+			var err error
+			want, err = v.run()
+			if err != nil {
+				t.Fatalf("%s sequential: %v", v.name, err)
+			}
+		})
+		for _, w := range workerCounts {
+			withParallelism(t, w, 64, func() {
+				got, err := v.run()
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", v.name, w, err)
+				}
+				if got != want {
+					t.Fatalf("%s workers=%d: %+v != sequential %+v", v.name, w, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestEstimatorErrorsDeterministicParallel asserts the parallel path
+// reports the same first-failing-record error as the sequential scan.
+func TestEstimatorErrorsDeterministicParallel(t *testing.T) {
+	const n = 2000
+	tr, _, model := determinismTrace(n)
+	// A policy whose distribution is invalid for contexts in the upper
+	// half of [0,1]; the first offending record index is fixed by the
+	// trace, not by scheduling.
+	bad := FuncPolicy[float64, int](func(x float64) []Weighted[int] {
+		if x > 0.5 {
+			return []Weighted[int]{{Decision: 0, Prob: 0.7}, {Decision: 1, Prob: 0.7}}
+		}
+		return []Weighted[int]{{Decision: 0, Prob: 1}, {Decision: 1, Prob: 0}, {Decision: 2, Prob: 0}}
+	})
+	var want string
+	withParallelism(t, 1, n+1, func() {
+		_, err := DoublyRobust(tr, bad, model, DROptions{})
+		if err == nil {
+			t.Fatal("sequential DR accepted an invalid policy")
+		}
+		want = err.Error()
+	})
+	if !strings.Contains(want, "record ") {
+		t.Fatalf("unexpected error shape: %s", want)
+	}
+	for _, w := range workerCounts {
+		withParallelism(t, w, 64, func() {
+			_, err := DoublyRobust(tr, bad, model, DROptions{})
+			if err == nil || err.Error() != want {
+				t.Fatalf("workers=%d: error %v, want %s", w, err, want)
+			}
+			_, err = DirectMethod(tr, bad, model)
+			if err == nil || err.Error() != want {
+				t.Fatalf("DM workers=%d: error %v, want %s", w, err, want)
+			}
+		})
+	}
+}
+
+// TestBootstrapSeededBitIdentical asserts the sharded bootstrap CI is a
+// pure function of the seed: identical for worker counts 1, 2 and 8.
+func TestBootstrapSeededBitIdentical(t *testing.T) {
+	tr, np, model := determinismTrace(400)
+	est := func(tt Trace[float64, int]) (Estimate, error) {
+		return DoublyRobust(tt, np, model, DROptions{})
+	}
+	var want Interval
+	withParallelism(t, 1, 1<<30, func() {
+		var err error
+		want, err = BootstrapSeeded(tr, est, 99, 150, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if want.Lo >= want.Hi {
+		t.Fatalf("degenerate interval %+v", want)
+	}
+	for _, w := range workerCounts {
+		withParallelism(t, w, 1<<30, func() {
+			got, err := BootstrapSeeded(tr, est, 99, 150, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("workers=%d: %+v != %+v", w, got, want)
+			}
+		})
+	}
+}
+
+// TestBootstrapSeededValidation mirrors Bootstrap's input checks.
+func TestBootstrapSeededValidation(t *testing.T) {
+	tr, np, model := determinismTrace(50)
+	est := func(tt Trace[float64, int]) (Estimate, error) {
+		return DoublyRobust(tt, np, model, DROptions{})
+	}
+	if _, err := BootstrapSeeded(Trace[float64, int]{}, est, 1, 10, 0.95); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := BootstrapSeeded(tr, est, 1, 10, 1.5); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	// An estimator that always fails must surface its error.
+	alwaysFail := func(Trace[float64, int]) (Estimate, error) {
+		return Estimate{}, ErrNoMatches
+	}
+	if _, err := BootstrapSeeded(tr, alwaysFail, 1, 10, 0.95); err == nil {
+		t.Fatal("all-failing estimator accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"drnet/internal/mathx"
+	"drnet/internal/parallel"
 )
 
 // Row is one line of an experiment's result table: a labeled summary of
@@ -72,6 +73,28 @@ func (r Result) Render() string {
 // row builds a Row from raw per-run values.
 func row(label, metric string, values []float64) Row {
 	return Row{Label: label, Metric: metric, Summary: mathx.Summarize(values)}
+}
+
+// forEachRun executes runs independent Monte Carlo replications of fn
+// on the shared worker pool (parallel.DefaultWorkers wide) and returns
+// the per-run outputs in run order. Run i receives run index i and an
+// RNG seeded seed+i — exactly the stream the sequential loops used —
+// so every experiment's numbers are bit-identical to the
+// single-threaded implementation at any worker count.
+func forEachRun[R any](runs int, seed int64, fn func(run int, rng *mathx.RNG) (R, error)) ([]R, error) {
+	return parallel.Times(runs, 0, func(i int) (R, error) {
+		return fn(i, mathx.NewRNG(seed+int64(i)))
+	})
+}
+
+// column extracts one per-run metric from collected run outputs, in run
+// order.
+func column[R any](outs []R, get func(R) float64) []float64 {
+	vals := make([]float64, len(outs))
+	for i, o := range outs {
+		vals[i] = get(o)
+	}
+	return vals
 }
 
 // Reduction returns the relative reduction of b versus a (1 - b/a), the

@@ -65,12 +65,12 @@ func SecondOrderBias(runs int, seed int64) (Result, error) {
 		Runs:  runs,
 	}
 	for _, c := range cells {
-		var dmEst, ipsEst, drEst, truths []float64
-		for run := 0; run < runs; run++ {
-			b := &banditWorld{rng: mathx.NewRNG(seed + int64(run)), noise: 0.1}
+		type runOut struct{ dm, ips, dr, truth float64 }
+		outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
+			b := &banditWorld{rng: rng, noise: 0.1}
 			ctxs := b.contexts(n)
 			tr := core.CollectTrace(ctxs, oldPolicy, b.drawReward, b.rng)
-			truths = append(truths, core.TrueValue(ctxs, newPolicy, b.trueReward))
+			truth := core.TrueValue(ctxs, newPolicy, b.trueReward)
 			// Corrupt the model by an additive offset δm.
 			model := core.RewardFunc[float64, int](func(x float64, d int) float64 {
 				return b.trueReward(x, d) + c.dm
@@ -81,21 +81,25 @@ func SecondOrderBias(runs int, seed int64) (Result, error) {
 			}
 			dm, err := core.DirectMethod(tr, newPolicy, model)
 			if err != nil {
-				return Result{}, err
+				return runOut{}, err
 			}
 			ips, err := core.IPS(tr, newPolicy, core.IPSOptions{})
 			if err != nil {
-				return Result{}, err
+				return runOut{}, err
 			}
 			dr, err := core.DoublyRobust(tr, newPolicy, model, core.DROptions{})
 			if err != nil {
-				return Result{}, err
+				return runOut{}, err
 			}
-			dmEst = append(dmEst, dm.Value)
-			ipsEst = append(ipsEst, ips.Value)
-			drEst = append(drEst, dr.Value)
+			return runOut{dm: dm.Value, ips: ips.Value, dr: dr.Value, truth: truth}, nil
+		})
+		if err != nil {
+			return Result{}, err
 		}
-		truth := mathx.Mean(truths)
+		dmEst := column(outs, func(o runOut) float64 { return o.dm })
+		ipsEst := column(outs, func(o runOut) float64 { return o.ips })
+		drEst := column(outs, func(o runOut) float64 { return o.dr })
+		truth := mathx.Mean(column(outs, func(o runOut) float64 { return o.truth }))
 		bias := func(ests []float64) []float64 {
 			return []float64{math.Abs(mathx.Mean(ests) - truth)}
 		}
@@ -127,9 +131,9 @@ func RandomnessSweep(runs int, seed int64) (Result, error) {
 	}
 	for _, eps := range []float64{0.02, 0.05, 0.1, 0.3, 1.0} {
 		oldPolicy := banditPolicy(0, eps)
-		var ipsErrs, drErrs, esss []float64
-		for run := 0; run < runs; run++ {
-			b := &banditWorld{rng: mathx.NewRNG(seed + int64(run)), noise: 0.3}
+		type runOut struct{ ips, dr, ess float64 }
+		outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
+			b := &banditWorld{rng: rng, noise: 0.3}
 			ctxs := b.contexts(n)
 			tr := core.CollectTrace(ctxs, oldPolicy, b.drawReward, b.rng)
 			truth := core.TrueValue(ctxs, newPolicy, b.trueReward)
@@ -139,16 +143,24 @@ func RandomnessSweep(runs int, seed int64) (Result, error) {
 			})
 			ips, err := core.IPS(tr, newPolicy, core.IPSOptions{})
 			if err != nil {
-				return Result{}, err
+				return runOut{}, err
 			}
 			dr, err := core.DoublyRobust(tr, newPolicy, model, core.DROptions{})
 			if err != nil {
-				return Result{}, err
+				return runOut{}, err
 			}
-			ipsErrs = append(ipsErrs, mathx.RelativeError(truth, ips.Value))
-			drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
-			esss = append(esss, ips.ESS)
+			return runOut{
+				ips: mathx.RelativeError(truth, ips.Value),
+				dr:  mathx.RelativeError(truth, dr.Value),
+				ess: ips.ESS,
+			}, nil
+		})
+		if err != nil {
+			return Result{}, err
 		}
+		ipsErrs := column(outs, func(o runOut) float64 { return o.ips })
+		drErrs := column(outs, func(o runOut) float64 { return o.dr })
+		esss := column(outs, func(o runOut) float64 { return o.ess })
 		res.Rows = append(res.Rows,
 			row(fmt.Sprintf("IPS ε=%.2f", eps), "", ipsErrs),
 			row(fmt.Sprintf("DR  ε=%.2f", eps), "", drErrs),
@@ -209,9 +221,9 @@ func NonStationaryReplay(runs int, seed int64) (Result, error) {
 	const truthReps = 60
 	target := adaptivePolicy{eps: 0.2}
 	logging := core.UniformPolicy[float64, int]{Decisions: banditDecisions}
-	var replayErrs, naiveErrs, accepted []float64
-	for run := 0; run < runs; run++ {
-		b := &banditWorld{rng: mathx.NewRNG(seed + int64(run)), noise: 0.3}
+	type runOut struct{ replay, naive, accepted float64 }
+	outs, err := forEachRun(runs, seed, func(run int, rng *mathx.RNG) (runOut, error) {
+		b := &banditWorld{rng: rng, noise: 0.3}
 		ctxs := b.contexts(n)
 		tr := core.CollectTrace(ctxs, logging, b.drawReward, b.rng)
 
@@ -241,7 +253,7 @@ func NonStationaryReplay(runs int, seed int64) (Result, error) {
 		replayRng := mathx.NewRNG(seed + 104729 + int64(run))
 		rep, err := core.ReplayDR[float64, int](tr, target, model, replayRng)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		// Naive: treat the policy as stationary with empty history.
 		frozen := core.FuncPolicy[float64, int](func(x float64) []core.Weighted[int] {
@@ -249,12 +261,20 @@ func NonStationaryReplay(runs int, seed int64) (Result, error) {
 		})
 		naive, err := core.DoublyRobust(tr, frozen, model, core.DROptions{})
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
-		replayErrs = append(replayErrs, mathx.RelativeError(truth, rep.Estimate.Value))
-		naiveErrs = append(naiveErrs, mathx.RelativeError(truth, naive.Value))
-		accepted = append(accepted, float64(rep.Accepted))
+		return runOut{
+			replay:   mathx.RelativeError(truth, rep.Estimate.Value),
+			naive:    mathx.RelativeError(truth, naive.Value),
+			accepted: float64(rep.Accepted),
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	replayErrs := column(outs, func(o runOut) float64 { return o.replay })
+	naiveErrs := column(outs, func(o runOut) float64 { return o.naive })
+	accepted := column(outs, func(o runOut) float64 { return o.accepted })
 	res := Result{
 		ID:    "E3",
 		Title: "Non-stationary policies: replay-DR vs frozen-history DR on an adaptive target",
@@ -277,20 +297,19 @@ func WorldStateCorrection(runs int, seed int64) (Result, error) {
 	if runs <= 0 {
 		runs = 30
 	}
-	var rawErrs, degradeErrs, groupErrs []float64
-	for run := 0; run < runs; run++ {
-		rng := mathx.NewRNG(seed + int64(run))
+	type runOut struct{ raw, degrade, group float64 }
+	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
 		s := worldstate.DefaultScenario()
 		if err := s.Init(rng); err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		morning, err := s.Collect(2000, worldstate.MorningHour, rng)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		peakCal, err := s.Collect(200, worldstate.PeakHour, rng)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		np := s.NewPolicy()
 		truth := core.TrueValue(morning.Contexts, np, func(c, v int) float64 {
@@ -305,30 +324,38 @@ func WorldStateCorrection(runs int, seed int64) (Result, error) {
 		}
 		raw, err := estimate(morning.Trace)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		// Paper's rule of thumb with the globally calibrated mean drop.
 		ratio := peakCal.Trace.MeanReward() / morning.Trace.MeanReward()
 		deg, err := estimate(worldstate.TransformTrace(morning.Trace, worldstate.Transition{Slope: ratio}))
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		trans, err := worldstate.FitPerGroup(
 			worldstate.CalibrationFromTrace(morning.Trace, worldstate.ServerGroup),
 			worldstate.CalibrationFromTrace(peakCal.Trace, worldstate.ServerGroup),
 		)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		corrected, _ := worldstate.TransformTraceGrouped(morning.Trace, trans, worldstate.ServerGroup)
 		grp, err := estimate(corrected)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
-		rawErrs = append(rawErrs, mathx.RelativeError(truth, raw))
-		degradeErrs = append(degradeErrs, mathx.RelativeError(truth, deg))
-		groupErrs = append(groupErrs, mathx.RelativeError(truth, grp))
+		return runOut{
+			raw:     mathx.RelativeError(truth, raw),
+			degrade: mathx.RelativeError(truth, deg),
+			group:   mathx.RelativeError(truth, grp),
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	rawErrs := column(outs, func(o runOut) float64 { return o.raw })
+	degradeErrs := column(outs, func(o runOut) float64 { return o.degrade })
+	groupErrs := column(outs, func(o runOut) float64 { return o.group })
 	res := Result{
 		ID:    "E4",
 		Title: "World state: evaluating a peak-hours policy from a morning trace",
@@ -351,17 +378,16 @@ func CouplingCorrection(runs int, seed int64) (Result, error) {
 	if runs <= 0 {
 		runs = 30
 	}
-	var naiveErrs, detectedErrs, oracleErrs []float64
-	for run := 0; run < runs; run++ {
-		rng := mathx.NewRNG(seed + int64(run))
+	type runOut struct{ naive, detected, oracle float64 }
+	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
 		s := coupling.DefaultScenario()
 		if err := s.Init(rng); err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		const n = 3000
 		steps, err := s.Run(n, rng)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		np := s.NewPolicy()
 		truth := s.GroundTruth(steps, np, s.Phase1Loads())
@@ -374,20 +400,20 @@ func CouplingCorrection(runs int, seed int64) (Result, error) {
 		}
 		naive, err := estimate(coupling.Trace(steps))
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		labels, err := coupling.DetectStates(steps, s.ShiftTarget, 0)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		target := s.Phase1Loads()[s.ShiftTarget]
 		matchedTrace, err := coupling.MatchState(steps, labels, s.ShiftTarget, target, 0)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		detected, err := estimate(matchedTrace)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		// Oracle: use the true phase boundary.
 		oracleLabels := make([]int, n)
@@ -396,16 +422,24 @@ func CouplingCorrection(runs int, seed int64) (Result, error) {
 		}
 		oracleTrace, err := coupling.MatchState(steps, oracleLabels, s.ShiftTarget, target, 0)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		oracle, err := estimate(oracleTrace)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
-		naiveErrs = append(naiveErrs, mathx.RelativeError(truth, naive))
-		detectedErrs = append(detectedErrs, mathx.RelativeError(truth, detected))
-		oracleErrs = append(oracleErrs, mathx.RelativeError(truth, oracle))
+		return runOut{
+			naive:    mathx.RelativeError(truth, naive),
+			detected: mathx.RelativeError(truth, detected),
+			oracle:   mathx.RelativeError(truth, oracle),
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	naiveErrs := column(outs, func(o runOut) float64 { return o.naive })
+	detectedErrs := column(outs, func(o runOut) float64 { return o.detected })
+	oracleErrs := column(outs, func(o runOut) float64 { return o.oracle })
 	res := Result{
 		ID:    "E5",
 		Title: "Decision-reward coupling: naive DR vs change-point state-matched DR",
@@ -447,41 +481,47 @@ func DimensionalitySweep(runs int, seed int64) (Result, error) {
 	}
 	for _, blk := range blocks {
 		for _, gp := range blk.points {
-			var cfaErrs, drErrs, matchRates []float64
-			for run := 0; run < runs; run++ {
-				rng := mathx.NewRNG(seed + int64(run))
+			type runOut struct{ cfa, dr, matchRate float64 }
+			outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
 				w := cfa.DefaultWorld()
 				w.NumCDNs, w.NumBitrates, w.NumFeatures = gp.cdns, gp.bitrates, gp.features
 				if err := w.Init(rng); err != nil {
-					return Result{}, err
+					return runOut{}, err
 				}
 				d, err := w.Collect(clients, rng)
 				if err != nil {
-					return Result{}, err
+					return runOut{}, err
 				}
 				np := w.NewPolicy(0.4, rng)
 				truth := d.GroundTruth(np)
 				diag, err := core.Diagnose(d.Trace, np)
 				if err != nil {
-					return Result{}, err
+					return runOut{}, err
 				}
-				matchRates = append(matchRates, diag.MatchRate)
+				out := runOut{matchRate: diag.MatchRate}
 				matched, err := core.MatchedRewards(d.Trace, np)
 				if err != nil {
 					// No matches at all: score the worst case.
-					cfaErrs = append(cfaErrs, 1)
+					out.cfa = 1
 				} else {
-					cfaErrs = append(cfaErrs, mathx.RelativeError(truth, matched.Value))
+					out.cfa = mathx.RelativeError(truth, matched.Value)
 				}
 				fit := func(tr core.Trace[cfa.Client, cfa.Decision]) (core.RewardModel[cfa.Client, cfa.Decision], error) {
 					return (&cfa.Data{Trace: tr, World: d.World}).PerDecisionKNNModel(3)
 				}
 				dr, err := core.CrossFitDR(d.Trace, np, fit, 2, core.DROptions{})
 				if err != nil {
-					return Result{}, err
+					return runOut{}, err
 				}
-				drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
+				out.dr = mathx.RelativeError(truth, dr.Value)
+				return out, nil
+			})
+			if err != nil {
+				return Result{}, err
 			}
+			cfaErrs := column(outs, func(o runOut) float64 { return o.cfa })
+			drErrs := column(outs, func(o runOut) float64 { return o.dr })
+			matchRates := column(outs, func(o runOut) float64 { return o.matchRate })
 			label := fmt.Sprintf("%s %dx%d f=%d", blk.name, gp.cdns, gp.bitrates, gp.features)
 			res.Rows = append(res.Rows,
 				row("CFA "+label, "", cfaErrs),
@@ -505,16 +545,15 @@ func RelayBias(runs int, seed int64) (Result, error) {
 		runs = 30
 	}
 	const calls = 4000
-	var viaErrs, drErrs, fullDMErrs, fullDRErrs []float64
-	for run := 0; run < runs; run++ {
-		rng := mathx.NewRNG(seed + int64(run))
+	type runOut struct{ via, dr, fullDM, fullDR float64 }
+	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
 		w := relay.DefaultWorld()
 		if err := w.Init(rng); err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		d, err := w.Collect(calls, rng)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		np := w.NewPolicy()
 		truth := d.GroundTruth(np)
@@ -522,25 +561,34 @@ func RelayBias(runs int, seed int64) (Result, error) {
 		full := d.FullModel()
 		dm, err := core.DirectMethod(d.Trace, np, via)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		dr, err := core.DoublyRobust(d.Trace, np, via, core.DROptions{})
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		fdm, err := core.DirectMethod(d.Trace, np, full)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		fdr, err := core.DoublyRobust(d.Trace, np, full, core.DROptions{})
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
-		viaErrs = append(viaErrs, mathx.RelativeError(truth, dm.Value))
-		drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
-		fullDMErrs = append(fullDMErrs, mathx.RelativeError(truth, fdm.Value))
-		fullDRErrs = append(fullDRErrs, mathx.RelativeError(truth, fdr.Value))
+		return runOut{
+			via:    mathx.RelativeError(truth, dm.Value),
+			dr:     mathx.RelativeError(truth, dr.Value),
+			fullDM: mathx.RelativeError(truth, fdm.Value),
+			fullDR: mathx.RelativeError(truth, fdr.Value),
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	viaErrs := column(outs, func(o runOut) float64 { return o.via })
+	drErrs := column(outs, func(o runOut) float64 { return o.dr })
+	fullDMErrs := column(outs, func(o runOut) float64 { return o.fullDM })
+	fullDRErrs := column(outs, func(o runOut) float64 { return o.fullDR })
 	res := Result{
 		ID:    "E7",
 		Title: "Relay NAT bias (Figure 3): VIA matching vs DR, with and without the NAT feature",

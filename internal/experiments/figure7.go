@@ -19,46 +19,54 @@ func Figure7a(runs int, seed int64) (Result, error) {
 	if runs <= 0 {
 		runs = 50
 	}
-	var wiseErrs, dmKnownErrs, ipsErrs, drErrs []float64
-	for run := 0; run < runs; run++ {
-		rng := mathx.NewRNG(seed + int64(run))
+	type runOut struct{ wise, ips, dr, full float64 }
+	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
 		w := cdnsim.DefaultWorld()
 		d, err := cdnsim.Collect(w, rng)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		np := w.NewPolicy()
 		truth := d.GroundTruth(np)
 		model, err := d.WISEModel(2)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		wise, err := core.DirectMethod(d.Trace, np, model)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		ips, err := core.IPS(d.Trace, np, core.IPSOptions{})
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		dr, err := core.DoublyRobust(d.Trace, np, model, core.DROptions{})
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		// A full-interaction CBN (maxParents=3) as an upper baseline.
 		fullModel, err := d.WISEModel(3)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		full, err := core.DirectMethod(d.Trace, np, fullModel)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
-		wiseErrs = append(wiseErrs, mathx.RelativeError(truth, wise.Value))
-		ipsErrs = append(ipsErrs, mathx.RelativeError(truth, ips.Value))
-		drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
-		dmKnownErrs = append(dmKnownErrs, mathx.RelativeError(truth, full.Value))
+		return runOut{
+			wise: mathx.RelativeError(truth, wise.Value),
+			ips:  mathx.RelativeError(truth, ips.Value),
+			dr:   mathx.RelativeError(truth, dr.Value),
+			full: mathx.RelativeError(truth, full.Value),
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	wiseErrs := column(outs, func(o runOut) float64 { return o.wise })
+	ipsErrs := column(outs, func(o runOut) float64 { return o.ips })
+	drErrs := column(outs, func(o runOut) float64 { return o.dr })
+	dmKnownErrs := column(outs, func(o runOut) float64 { return o.full })
 	res := Result{
 		ID:    "F7a",
 		Title: "Trace bias: WISE (CBN direct method) vs DR on the Figure 4 world",
@@ -108,33 +116,40 @@ func Figure7b(runs, sessionsPerRun int, seed int64) (Result, error) {
 	if sessionsPerRun <= 0 {
 		sessionsPerRun = 5
 	}
-	var dmErrs, ipsErrs, drErrs []float64
-	for run := 0; run < runs; run++ {
-		rng := mathx.NewRNG(seed + int64(run))
+	type runOut struct{ dm, ips, dr float64 }
+	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
 		s := Figure7bScenario()
 		d, err := s.CollectMany(rng, sessionsPerRun)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		np := d.NewPolicy(0)
 		truth := d.GroundTruth(np)
 		model := core.RewardFunc[abr.Chunk, int](d.ModelReward)
 		dm, err := core.DirectMethod(d.Trace, np, model)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		ips, err := core.IPS(d.Trace, np, core.IPSOptions{Clip: 8})
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		dr, err := core.DoublyRobust(d.Trace, np, model, core.DROptions{Clip: 8})
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
-		dmErrs = append(dmErrs, mathx.RelativeError(truth, dm.Value))
-		ipsErrs = append(ipsErrs, mathx.RelativeError(truth, ips.Value))
-		drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
+		return runOut{
+			dm:  mathx.RelativeError(truth, dm.Value),
+			ips: mathx.RelativeError(truth, ips.Value),
+			dr:  mathx.RelativeError(truth, dr.Value),
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	dmErrs := column(outs, func(o runOut) float64 { return o.dm })
+	ipsErrs := column(outs, func(o runOut) float64 { return o.ips })
+	drErrs := column(outs, func(o runOut) float64 { return o.dr })
 	res := Result{
 		ID:    "F7b",
 		Title: "Model bias: FastMPC-style evaluator vs DR on the ABR world",
@@ -163,42 +178,49 @@ func Figure7c(runs, clients int, seed int64) (Result, error) {
 	if clients <= 0 {
 		clients = 1000
 	}
-	var cfaErrs, dmErrs, drErrs []float64
-	for run := 0; run < runs; run++ {
-		rng := mathx.NewRNG(seed + int64(run))
+	type runOut struct{ cfa, dm, dr float64 }
+	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
 		w := cfa.DefaultWorld()
 		if err := w.Init(rng); err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		d, err := w.Collect(clients, rng)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		np := w.NewPolicy(0.4, rng)
 		truth := d.GroundTruth(np)
 		matched, err := core.MatchedRewards(d.Trace, np)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		model, err := d.PerDecisionKNNModel(3)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		dm, err := core.DirectMethod(d.Trace, np, model)
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
 		fit := func(tr core.Trace[cfa.Client, cfa.Decision]) (core.RewardModel[cfa.Client, cfa.Decision], error) {
 			return (&cfa.Data{Trace: tr, World: d.World}).PerDecisionKNNModel(3)
 		}
 		dr, err := core.CrossFitDR(d.Trace, np, fit, 2, core.DROptions{})
 		if err != nil {
-			return Result{}, err
+			return runOut{}, err
 		}
-		cfaErrs = append(cfaErrs, mathx.RelativeError(truth, matched.Value))
-		dmErrs = append(dmErrs, mathx.RelativeError(truth, dm.Value))
-		drErrs = append(drErrs, mathx.RelativeError(truth, dr.Value))
+		return runOut{
+			cfa: mathx.RelativeError(truth, matched.Value),
+			dm:  mathx.RelativeError(truth, dm.Value),
+			dr:  mathx.RelativeError(truth, dr.Value),
+		}, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
+	cfaErrs := column(outs, func(o runOut) float64 { return o.cfa })
+	dmErrs := column(outs, func(o runOut) float64 { return o.dm })
+	drErrs := column(outs, func(o runOut) float64 { return o.dr })
 	res := Result{
 		ID:    "F7c",
 		Title: "Variance: CFA exact matching vs DR (cross-fit k-NN DM) on the video-QoE world",

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"drnet/internal/mathx"
+	"drnet/internal/parallel"
+)
+
+// TestExperimentsDeterministicAcrossWorkers runs a cheap configuration
+// of each parallelized experiment at worker counts 1, 2 and 8 and
+// requires reflect.DeepEqual on the full Result — every mean, min, max,
+// std and note string bit-identical. This is the guarantee EXPERIMENTS.md
+// documents: `cmd/experiments -workers N` reproduces `-workers 1`.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	defer parallel.SetDefaultWorkers(0)
+	cases := []struct {
+		name string
+		run  func() (Result, error)
+	}{
+		{"Figure7b", func() (Result, error) { return Figure7b(3, 2, 5) }},
+		{"SecondOrderBias", func() (Result, error) { return SecondOrderBias(3, 5) }},
+		{"RandomnessSweep", func() (Result, error) { return RandomnessSweep(2, 5) }},
+	}
+	for _, c := range cases {
+		parallel.SetDefaultWorkers(1)
+		want, err := c.run()
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", c.name, err)
+		}
+		for _, w := range []int{2, 8} {
+			parallel.SetDefaultWorkers(w)
+			got, err := c.run()
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", c.name, w, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: workers=%d result differs from workers=1:\n%s\nvs\n%s",
+					c.name, w, got.Render(), want.Render())
+			}
+		}
+	}
+}
+
+// TestForEachRunMatchesSequentialLoop pins the helper's seeding
+// contract: run i must see exactly the stream NewRNG(seed+i), the same
+// streams the pre-parallel sequential loops consumed.
+func TestForEachRunMatchesSequentialLoop(t *testing.T) {
+	got, err := forEachRun(16, 3, func(run int, rng *mathx.RNG) (float64, error) {
+		return rng.Float64() + float64(run), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := mathx.NewRNG(3+int64(i)).Float64() + float64(i)
+		if v != want {
+			t.Fatalf("run %d: %g != %g", i, v, want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	randv2 "math/rand/v2"
 )
 
 // RNG wraps *rand.Rand with the distribution samplers the simulators
@@ -16,6 +17,31 @@ type RNG struct {
 // NewRNG returns a seeded RNG.
 func NewRNG(seed int64) *RNG {
 	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// pcgSource adapts math/rand/v2's PCG generator to the math/rand
+// Source64 interface so the samplers on RNG work unchanged on top of
+// it. PCG's 128-bit state makes it cheap to derive many independent
+// streams from (seed, stream) pairs — the basis of the parallel
+// engine's sharded RNG.
+type pcgSource struct {
+	*randv2.PCG
+}
+
+func (s pcgSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed is required by the math/rand Source interface; a PCG stream is
+// seeded once at construction and never reseeded.
+func (s pcgSource) Seed(int64) {
+	panic("mathx: reseeding a PCG-backed RNG is not supported; construct a new one")
+}
+
+// NewPCG returns an RNG backed by an independent PCG stream determined
+// entirely by (seed, stream). Distinct stream values yield statistically
+// independent sequences, so parallel shards can each own one without
+// coordinating.
+func NewPCG(seed, stream uint64) *RNG {
+	return &RNG{Rand: rand.New(pcgSource{randv2.NewPCG(seed, stream)})}
 }
 
 // Normal samples N(mu, sigma²).

@@ -1,0 +1,34 @@
+package parallel
+
+import (
+	"drnet/internal/mathx"
+)
+
+// BootstrapCI estimates a two-sided percentile bootstrap confidence
+// interval for the mean of xs at the given confidence level (e.g. 0.95)
+// using b resamples computed on up to workers goroutines.
+//
+// It is the parallel counterpart of (*mathx.RNG).BootstrapCI, with one
+// deliberate difference: resample i draws from its own PCG stream
+// (ShardedRNG shard i) instead of a single shared stream, so the
+// interval is a pure function of (xs, level, b, seed) — bit-identical
+// whether computed with 1 worker or 64.
+func BootstrapCI(xs []float64, level float64, b int, seed int64, workers int) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	if level <= 0 || level >= 1 {
+		panic("parallel: confidence level must be in (0,1)")
+	}
+	if b <= 0 {
+		b = 1000
+	}
+	sh := NewShardedRNG(seed)
+	means, _ := Times(b, workers, func(i int) (float64, error) {
+		rng := sh.Shard(i)
+		buf := make([]float64, len(xs))
+		return mathx.Mean(rng.Bootstrap(buf, xs)), nil
+	})
+	alpha := (1 - level) / 2
+	return mathx.Quantile(means, alpha), mathx.Quantile(means, 1-alpha)
+}

@@ -1,0 +1,196 @@
+// Package parallel is the repository's evaluation engine: a bounded
+// worker pool with deterministic chunking and a sharded RNG, so that
+// every Monte Carlo loop, per-record estimator pass and bootstrap
+// resample in this codebase produces bit-identical results at any
+// worker count (GOMAXPROCS, -workers 1, -workers 8, ...).
+//
+// Determinism comes from two rules every helper here enforces:
+//
+//  1. Work is addressed by index, never by arrival order. Outputs are
+//     written to index i of a pre-sized slice and reductions run
+//     sequentially in index order after the parallel phase, so no
+//     floating-point sum is ever reassociated.
+//  2. Randomness is sharded by index, never drawn from a shared
+//     stream. ShardedRNG derives an independent PCG stream per shard
+//     from a root seed, so shard i sees the same variates no matter
+//     which worker runs it.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the pool-wide worker count used when a call
+// passes workers <= 0. Zero means "use GOMAXPROCS".
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the worker count used by callers that do not
+// specify one (the estimators in internal/core, the experiment runners,
+// drevald request handling). n <= 0 restores the default, GOMAXPROCS.
+// It is safe for concurrent use.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the currently configured default worker count
+// (GOMAXPROCS when unset).
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// resolve maps a caller-supplied worker count to a concrete one.
+func resolve(workers int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return workers
+}
+
+// ForEach partitions [0, n) into consecutive chunks of at most grain
+// indices and runs fn(lo, hi) once per chunk on up to workers
+// goroutines (workers <= 0 means DefaultWorkers; grain <= 0 means one
+// chunk per worker share, minimum 1).
+//
+// fn must be index-pure: its effect for index i (typically writing
+// element i of a shared output slice) may not depend on which chunk or
+// worker executes it. Under that contract the output is bit-identical
+// for every worker count, including 1.
+//
+// When any chunk fails, ForEach returns the error of the lowest-indexed
+// failing chunk. Because fn scans its chunk in order, that is exactly
+// the error a sequential loop would have returned first. Chunks not yet
+// claimed when a failure is observed are skipped.
+func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = resolve(workers)
+	if grain <= 0 {
+		grain = (n + workers - 1) / workers
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	chunks := (n + grain - 1) / grain
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers == 1 {
+		// Plain loop: no goroutines, no pool overhead.
+		for lo := 0; lo < n; lo += grain {
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			if err := fn(lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, chunks)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks || failed.Load() {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				if err := fn(lo, hi); err != nil {
+					errs[c] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map applies fn to every element of items on up to workers goroutines
+// and returns the results in input order. Each item is its own chunk
+// (grain 1), which suits the coarse-grained tasks this repository maps
+// over: Monte Carlo runs, bootstrap resamples, whole experiments.
+//
+// On failure Map returns the error of the lowest-indexed failing item,
+// matching a sequential loop.
+func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(len(items), workers, 1, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			r, err := fn(i, items[i])
+			if err != nil {
+				return err
+			}
+			out[i] = r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Times runs fn(i) for i in [0, n) on up to workers goroutines and
+// returns the n results in index order. It is Map without a materialized
+// input slice — the natural shape for "repeat this replication n times".
+func Times[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
+	out := make([]R, n)
+	err := ForEach(n, workers, 1, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			r, err := fn(i)
+			if err != nil {
+				return err
+			}
+			out[i] = r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapReduce maps items in parallel, then folds the mapped values
+// sequentially in input order: acc = reduce(acc, r_0), reduce(acc, r_1),
+// and so on starting from init. Because the fold order is fixed,
+// floating-point accumulation is never reassociated and the result is
+// bit-identical at every worker count.
+func MapReduce[T, R any](items []T, workers int, mapFn func(i int, item T) (R, error), init R, reduce func(acc, next R) R) (R, error) {
+	mapped, err := Map(items, workers, mapFn)
+	if err != nil {
+		var zero R
+		return zero, err
+	}
+	acc := init
+	for _, r := range mapped {
+		acc = reduce(acc, r)
+	}
+	return acc, nil
+}

@@ -1,0 +1,293 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"drnet/internal/mathx"
+)
+
+// workerCounts are the worker counts every determinism test sweeps, as
+// required by the acceptance criteria.
+var workerCounts = []int{1, 2, 8}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		for _, grain := range []int{1, 3, 64, 5000} {
+			for _, w := range workerCounts {
+				hits := make([]int32, n)
+				err := ForEach(n, w, grain, func(lo, hi int) error {
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("n=%d grain=%d workers=%d: %v", n, grain, w, err)
+				}
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("n=%d grain=%d workers=%d: index %d visited %d times", n, grain, w, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForEachDefaultGrain(t *testing.T) {
+	var visited atomic.Int64
+	if err := ForEach(100, 4, 0, func(lo, hi int) error {
+		visited.Add(int64(hi - lo))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if visited.Load() != 100 {
+		t.Fatalf("visited %d indices, want 100", visited.Load())
+	}
+}
+
+// TestForEachFirstError asserts the returned error is always the one a
+// sequential loop would hit first, at any worker count.
+func TestForEachFirstError(t *testing.T) {
+	// Indices 41, 43 and 97 fail; the sequential loop dies at 41.
+	bad := map[int]bool{41: true, 43: true, 97: true}
+	for _, w := range workerCounts {
+		err := ForEach(200, w, 4, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if bad[i] {
+					return fmt.Errorf("index %d", i)
+				}
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "index 41" {
+			t.Fatalf("workers=%d: got %v, want index 41", w, err)
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	in := make([]int, 500)
+	for i := range in {
+		in[i] = i
+	}
+	for _, w := range workerCounts {
+		out, err := Map(in, w, func(i, x int) (int, error) { return x * x, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapFirstError(t *testing.T) {
+	in := make([]int, 100)
+	sentinel := errors.New("boom")
+	for _, w := range workerCounts {
+		_, err := Map(in, w, func(i, _ int) (int, error) {
+			if i >= 30 {
+				return 0, fmt.Errorf("item %d: %w", i, sentinel)
+			}
+			return 0, nil
+		})
+		if err == nil || !errors.Is(err, sentinel) || err.Error() != "item 30: boom" {
+			t.Fatalf("workers=%d: got %v, want item 30", w, err)
+		}
+	}
+}
+
+func TestTimesDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []float64 {
+		sh := NewShardedRNG(42)
+		out, err := Times(64, workers, func(i int) (float64, error) {
+			rng := sh.Shard(i)
+			s := 0.0
+			for k := 0; k < 100; k++ {
+				s += rng.NormFloat64()
+			}
+			return s, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range workerCounts[1:] {
+		got := run(w)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: output differs from workers=1", w)
+		}
+	}
+}
+
+func TestMapReduceFoldsInOrder(t *testing.T) {
+	// A non-commutative reduction (string concat) exposes any ordering
+	// violation immediately.
+	in := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for _, w := range workerCounts {
+		got, err := MapReduce(in, w,
+			func(i, x int) (string, error) { return fmt.Sprint(x), nil },
+			"", func(acc, next string) string { return acc + next })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "0123456789" {
+			t.Fatalf("workers=%d: %q", w, got)
+		}
+	}
+}
+
+// TestMapMatchesSequentialProperty checks, for random inputs, that a
+// parallel Map of a pure function equals the plain loop.
+func TestMapMatchesSequentialProperty(t *testing.T) {
+	f := func(xs []float64, workers uint8) bool {
+		w := int(workers%8) + 1
+		fn := func(x float64) float64 { return math.Sin(x) * 3.7 }
+		got, err := Map(xs, w, func(i int, x float64) (float64, error) { return fn(x), nil })
+		if err != nil {
+			return false
+		}
+		for i, x := range xs {
+			if got[i] != fn(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers() = %d, want 3", got)
+	}
+	SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers() = %d, want >= 1", got)
+	}
+	SetDefaultWorkers(-5)
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers() after negative = %d, want >= 1", got)
+	}
+}
+
+func TestShardedRNGReproducible(t *testing.T) {
+	sh := NewShardedRNG(7)
+	a, b := sh.Shard(5), sh.Shard(5)
+	for k := 0; k < 1000; k++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("shard 5 not reproducible at draw %d", k)
+		}
+	}
+}
+
+func TestShardedRNGStreamsDiffer(t *testing.T) {
+	sh := NewShardedRNG(7)
+	seen := make(map[uint64]int)
+	for i := 0; i < 100; i++ {
+		v := sh.Shard(i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("shards %d and %d produced the same first draw", j, i)
+		}
+		seen[v] = i
+	}
+	// Different root seeds give different streams for the same shard.
+	if NewShardedRNG(1).Shard(0).Uint64() == NewShardedRNG(2).Shard(0).Uint64() {
+		t.Fatal("different seeds produced identical shard-0 draws")
+	}
+}
+
+// TestShardedRNGMeanSane is a coarse statistical sanity check: pooled
+// uniform draws across shards should average near 0.5.
+func TestShardedRNGMeanSane(t *testing.T) {
+	sh := NewShardedRNG(11)
+	s, n := 0.0, 0
+	for i := 0; i < 200; i++ {
+		rng := sh.Shard(i)
+		for k := 0; k < 100; k++ {
+			s += rng.Float64()
+			n++
+		}
+	}
+	if mean := s / float64(n); math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("pooled mean %g too far from 0.5", mean)
+	}
+}
+
+func TestBootstrapCIDeterministicAcrossWorkers(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.Normal(2, 1)
+	}
+	lo1, hi1 := BootstrapCI(xs, 0.95, 400, 9, 1)
+	for _, w := range workerCounts[1:] {
+		lo, hi := BootstrapCI(xs, 0.95, 400, 9, w)
+		if lo != lo1 || hi != hi1 {
+			t.Fatalf("workers=%d: CI [%g,%g] != workers=1 [%g,%g]", w, lo, hi, lo1, hi1)
+		}
+	}
+	if lo1 >= hi1 {
+		t.Fatalf("degenerate CI [%g,%g]", lo1, hi1)
+	}
+	m := mathx.Mean(xs)
+	if m < lo1 || m > hi1 {
+		t.Fatalf("sample mean %g outside 95%% CI [%g,%g]", m, lo1, hi1)
+	}
+}
+
+func TestBootstrapCIEdgeCases(t *testing.T) {
+	if lo, hi := BootstrapCI(nil, 0.95, 10, 1, 2); lo != 0 || hi != 0 {
+		t.Fatalf("empty input: got [%g,%g]", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad level did not panic")
+		}
+	}()
+	BootstrapCI([]float64{1, 2}, 1.5, 10, 1, 2)
+}
+
+// TestStressManyTasks hammers the pool with many tiny tasks from many
+// goroutines at once; run under -race this is the package's data-race
+// canary.
+func TestStressManyTasks(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var total atomic.Int64
+			if err := ForEach(10000, 16, 7, func(lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					total.Add(int64(i))
+				}
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			if want := int64(10000 * 9999 / 2); total.Load() != want {
+				t.Errorf("goroutine %d: sum %d, want %d", g, total.Load(), want)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -5,10 +5,21 @@
 //
 // Endpoints:
 //
-//	GET  /healthz    liveness probe
-//	POST /diagnose   {trace, policy} → overlap diagnostics
-//	POST /evaluate   {trace, policy, options} → DM/IPS/DR estimates,
-//	                 diagnostics and an optional bootstrap CI
+//	GET  /healthz     liveness probe: {status, uptimeSeconds, version}
+//	POST /diagnose    {trace, policy} → overlap diagnostics
+//	POST /evaluate    {trace, policy, options} → DM/IPS/DR estimates,
+//	                  diagnostics and an optional bootstrap CI
+//	GET  /metrics     Prometheus text exposition (request, estimator
+//	                  regime and worker-pool metrics)
+//	GET  /debug/vars  JSON metric snapshot + process vitals
+//
+// With -debug-addr set, a second listener additionally serves
+// net/http/pprof under /debug/pprof/ (plus /metrics and /debug/vars),
+// kept off the service port so profiling is opt-in.
+//
+// Every response carries an X-Request-Id (generated when the client
+// does not send one), which also keys the structured access logs on
+// stderr.
 //
 // Request schema (JSON):
 //
@@ -23,7 +34,7 @@
 //
 // Usage:
 //
-//	drevald [-addr :8080] [-workers 0]
+//	drevald [-addr :8080] [-workers 0] [-debug-addr ""] [-log-level info]
 //
 // Requests are served concurrently by net/http; within each request the
 // bootstrap resamples run on a shared worker pool -workers wide (0 =
@@ -49,6 +60,7 @@ import (
 	"time"
 
 	"drnet/internal/core"
+	"drnet/internal/obs"
 	"drnet/internal/parallel"
 	"drnet/internal/traceio"
 )
@@ -56,16 +68,35 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "worker-pool width for per-request bootstrap resampling (0 = GOMAXPROCS)")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address for /debug/pprof, /metrics and /debug/vars (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("drevald: %v", err)
+	}
+	srvLog.SetLevel(level)
 
 	srv, err := newServer(*addr)
 	if err != nil {
 		log.Fatalf("drevald: %v", err)
 	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("drevald: debug listener: %v", err)
+		}
+		go func() {
+			if err := http.Serve(ln, newDebugMux()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				srvLog.Error("debug listener failed", "err", err)
+			}
+		}()
+		srvLog.Info("debug listener up", "addr", ln.Addr().String())
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	log.Printf("drevald listening on %s", srv.addr())
+	srvLog.Info("drevald listening", "addr", srv.addr(), "version", obs.Version(), "workers", parallel.DefaultWorkers())
 	if err := srv.run(stop); err != nil {
 		log.Fatalf("drevald: %v", err)
 	}
@@ -120,18 +151,32 @@ func (s *server) run(stop <-chan os.Signal) error {
 	return s.srv.Shutdown(ctx)
 }
 
-// newMux wires the service handlers; separated from main for testing.
+// newMux wires the service handlers — each behind the instrument
+// middleware (request IDs, per-route metrics, access logs) — plus the
+// observability endpoints; separated from main for testing.
 func newMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", handleHealthz)
-	mux.HandleFunc("POST /diagnose", handleDiagnose)
-	mux.HandleFunc("POST /evaluate", handleEvaluate)
+	mux.Handle("GET /healthz", instrument("/healthz", handleHealthz))
+	mux.Handle("POST /diagnose", instrument("/diagnose", handleDiagnose))
+	mux.Handle("POST /evaluate", instrument("/evaluate", handleEvaluate))
+	mux.Handle("GET /metrics", instrument("/metrics", handleMetrics))
+	mux.Handle("GET /debug/vars", instrument("/debug/vars", handleVars))
 	return mux
 }
 
+// healthJSON is the /healthz response body.
+type healthJSON struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Version       string  `json:"version"`
+}
+
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
+	writeJSON(w, healthJSON{
+		Status:        "ok",
+		UptimeSeconds: time.Since(serverStart).Seconds(),
+		Version:       obs.Version(),
+	})
 }
 
 // evalOptions mirrors the request "options" object.
@@ -174,19 +219,30 @@ type diagnosticsJSON struct {
 	MinPropensity float64 `json:"minPropensity"`
 }
 
-// evalResponse is the response body of /evaluate.
-type evalResponse struct {
-	DM          estimateJSON    `json:"dm"`
-	IPS         estimateJSON    `json:"ips"`
-	DR          estimateJSON    `json:"dr"`
-	Diagnostics diagnosticsJSON `json:"diagnostics"`
-	DRInterval  *struct {
-		Lo, Hi, Level float64
-	} `json:"drInterval,omitempty"`
+// intervalJSON serializes a core.Interval with camelCase keys, matching
+// every other field in the response.
+type intervalJSON struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Level float64 `json:"level"`
 }
 
-// maxBodyBytes bounds request bodies (64 MiB).
-const maxBodyBytes = 64 << 20
+// evalResponse is the response body of /evaluate. BootstrapSkipped is
+// present whenever a bootstrap ran: it counts resamples the estimator
+// failed on (and which the interval therefore excludes), so clients can
+// tell a fragile CI from a solid one.
+type evalResponse struct {
+	DM               estimateJSON    `json:"dm"`
+	IPS              estimateJSON    `json:"ips"`
+	DR               estimateJSON    `json:"dr"`
+	Diagnostics      diagnosticsJSON `json:"diagnostics"`
+	DRInterval       *intervalJSON   `json:"drInterval,omitempty"`
+	BootstrapSkipped *int            `json:"bootstrapSkipped,omitempty"`
+}
+
+// maxBodyBytes bounds request bodies (64 MiB). A variable so tests can
+// lower it to exercise the 413 path without a 64 MiB payload.
+var maxBodyBytes int64 = 64 << 20
 
 // parseEvalRequest decodes and validates an /evaluate or /diagnose
 // request body. It is independent of net/http so the fuzz harness can
@@ -197,7 +253,9 @@ func parseEvalRequest(body io.Reader) (*evalRequest, core.Trace[traceio.FlatCont
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		return nil, nil, nil, fmt.Errorf("invalid request body: %v", err)
+		// %w so decodeRequest can distinguish an oversized body
+		// (*http.MaxBytesError → 413) from plain bad JSON (400).
+		return nil, nil, nil, fmt.Errorf("invalid request body: %w", err)
 	}
 	if len(req.Trace) == 0 {
 		return nil, nil, nil, errors.New("empty trace")
@@ -223,7 +281,12 @@ func parseEvalRequest(body io.Reader) (*evalRequest, core.Trace[traceio.FlatCont
 func decodeRequest(w http.ResponseWriter, r *http.Request) (*evalRequest, core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], bool) {
 	req, trace, policy, err := parseEvalRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, err.Error())
 		return nil, nil, nil, false
 	}
 	return req, trace, policy, true
@@ -252,6 +315,16 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	// Export the request's overlap regime — the continuously watched
+	// version of the diagnostics this response returns once.
+	evalESSRatio.Observe(diag.ESS / float64(diag.N))
+	evalMaxWeight.Observe(diag.MaxWeight)
+	evalZeroSupport.Observe(float64(diag.ZeroSupport))
+	if srvLog.Enabled(obs.LevelDebug) {
+		srvLog.Debug("evaluate diagnostics", "id", requestID(r),
+			"n", diag.N, "essRatio", diag.ESS/float64(diag.N),
+			"maxWeight", diag.MaxWeight, "zeroSupport", diag.ZeroSupport)
+	}
 	model := core.FitTable(trace, func(c traceio.FlatContext, d string) string {
 		return c.Key() + "|" + d
 	})
@@ -278,15 +351,20 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		// Sharded bootstrap: resamples run on the worker pool, one PCG
 		// stream per resample, so the interval depends only on the seed.
-		ci, err := core.BootstrapSeeded(trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
+		sp := obs.StartSpan("drevald_bootstrap")
+		ci, stats, err := core.BootstrapSeededStats(trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
 			m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
 			return core.DoublyRobust(t, policy, m, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 		}, seed, b, 0.95)
+		sp.End()
+		bootResamples.Add(uint64(stats.Resamples))
+		bootSkipped.Add(uint64(stats.Skipped))
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 			return
 		}
-		resp.DRInterval = &struct{ Lo, Hi, Level float64 }{ci.Lo, ci.Hi, ci.Level}
+		resp.DRInterval = &intervalJSON{Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}
+		resp.BootstrapSkipped = &stats.Skipped
 	}
 	writeJSON(w, resp)
 }

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+
+	"drnet/internal/obs"
+)
+
+// srvLog is the service's structured logger. Access logs and handler
+// events go through it; tests swap the sink via SetOutput.
+var srvLog = obs.NewLogger(os.Stderr, obs.LevelInfo)
+
+// serverStart anchors the uptime reported by /healthz and /debug/vars.
+var serverStart = time.Now()
+
+// Request metrics, one series per route (pre-created at mux wiring so
+// every series is visible on /metrics from the first scrape).
+var httpRequestBuckets = obs.TimeBuckets
+
+// Estimator-regime metrics exported per /evaluate request: the paper's
+// §4.1 overlap diagnostics as live histograms, so an operator can see
+// a fleet drifting into an untrustworthy regime (ESS/N collapsing,
+// weight tails growing, zero-support counts rising) without inspecting
+// individual responses.
+var (
+	evalESSRatio = obs.Default.Histogram("drevald_eval_ess_ratio",
+		obs.ExpBuckets(1.0/1024, 2, 11)) // 1/1024 … 1
+	evalMaxWeight = obs.Default.Histogram("drevald_eval_max_weight",
+		obs.ExpBuckets(0.5, 2, 14)) // 0.5 … 4096
+	evalZeroSupport = obs.Default.Histogram("drevald_eval_zero_support",
+		obs.ExpBuckets(1, 4, 10)) // 1 … 262144
+	bootResamples = obs.Default.Counter("drevald_bootstrap_resamples_total")
+	bootSkipped   = obs.Default.Counter("drevald_bootstrap_skipped_total")
+)
+
+func init() {
+	obs.Default.Help("drevald_http_requests_total", "HTTP requests served, by route and status class.")
+	obs.Default.Help("drevald_http_request_seconds", "HTTP request latency, by route.")
+	obs.Default.Help("drevald_http_in_flight", "Requests currently being served, by route.")
+	obs.Default.Help("drevald_eval_ess_ratio", "ESS/N of the importance weights per /evaluate request.")
+	obs.Default.Help("drevald_eval_max_weight", "Largest importance weight per /evaluate request.")
+	obs.Default.Help("drevald_eval_zero_support", "Zero-support record count per /evaluate request.")
+	obs.Default.Help("drevald_bootstrap_resamples_total", "Bootstrap resamples attempted by /evaluate.")
+	obs.Default.Help("drevald_bootstrap_skipped_total", "Bootstrap resamples skipped because the estimator failed.")
+}
+
+// reqIDKey carries the request ID through the request context.
+type reqIDKey struct{}
+
+// requestID returns the X-Request-Id assigned by the middleware, or ""
+// outside an instrumented handler.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey{}).(string)
+	return id
+}
+
+// statusRecorder captures the status code and body size a handler
+// writes, for metrics and access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// statusClass maps a status code to its Prometheus-friendly class label.
+func statusClass(code int) string {
+	switch {
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// instrument wraps a handler with the service middleware: request-ID
+// generation/propagation (X-Request-Id in and out, plus the request
+// context), per-route request counters by status class, a latency
+// histogram, an in-flight gauge, and a structured access log line.
+func instrument(route string, h http.HandlerFunc) http.Handler {
+	latency := obs.Default.Histogram("drevald_http_request_seconds", httpRequestBuckets, obs.L("route", route))
+	inFlight := obs.Default.Gauge("drevald_http_in_flight", obs.L("route", route))
+	byClass := map[string]*obs.Counter{}
+	for _, class := range []string{"2xx", "3xx", "4xx", "5xx"} {
+		byClass[class] = obs.Default.Counter("drevald_http_requests_total",
+			obs.L("route", route), obs.L("code", class))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
+
+		inFlight.Inc()
+		defer inFlight.Dec()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		dur := time.Since(start)
+
+		latency.Observe(dur.Seconds())
+		byClass[statusClass(rec.status)].Inc()
+		srvLog.Info("request",
+			"id", id,
+			"method", r.Method,
+			"route", route,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"durMs", float64(dur.Microseconds())/1000,
+		)
+	})
+}
+
+// handleMetrics serves the process-wide registry in Prometheus text
+// format — drevald's own request/eval metrics plus the parallel pool
+// gauges, which register on the same default registry.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	obs.Default.MetricsHandler().ServeHTTP(w, r)
+}
+
+// handleVars is the JSON twin of /metrics: a full metric snapshot plus
+// process vitals, in the spirit of expvar.
+func handleVars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"version":       obs.Version(),
+		"uptimeSeconds": time.Since(serverStart).Seconds(),
+		"goroutines":    runtime.NumGoroutine(),
+		"workers":       runtime.GOMAXPROCS(0),
+		"metrics":       obs.Default.Snapshot(),
+	})
+}
+
+// newDebugMux builds the opt-in debug listener's mux: pprof, plus
+// /metrics and /debug/vars so a scraper pointed at the debug port sees
+// everything. Served on a separate address (-debug-addr) so profiling
+// endpoints are never exposed on the service port.
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", handleMetrics)
+	mux.HandleFunc("GET /debug/vars", handleVars)
+	return mux
+}
+

@@ -5,46 +5,106 @@
 // Usage:
 //
 //	experiments [-run all|F7a,F7b,...] [-runs 50] [-seed 1] [-workers 0]
+//	            [-manifest run-manifest.json]
 //
 // -workers sets the width of the shared worker pool the Monte Carlo
 // replication loops run on (0 = GOMAXPROCS). Results are bit-identical
 // at every worker count: -workers 8 reproduces exactly the numbers of
 // -workers 1.
+//
+// After the run a JSON manifest is written to -manifest ("" disables)
+// recording the seed, worker count, per-experiment wall times and the
+// binary's version, so a results table can always be traced back to
+// the exact configuration that produced it. Phase timings are also
+// logged to stderr as structured key=value lines.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"drnet/internal/experiments"
+	"drnet/internal/obs"
 	"drnet/internal/parallel"
 )
 
 type runner func(runs int, seed int64) (experiments.Result, error)
 
+// expLog emits phase timings; the sink is swappable for tests.
+var expLog = obs.NewLogger(os.Stderr, obs.LevelInfo)
+
 func main() {
 	var (
-		which    = flag.String("run", "all", "comma-separated experiment ids (F7a F7b F7c E1..E12 ABL) or 'all'")
-		runs     = flag.Int("runs", 50, "independent runs per experiment (the paper uses 50)")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
+		which      = flag.String("run", "all", "comma-separated experiment ids (F7a F7b F7c E1..E12 ABL) or 'all'")
+		runs       = flag.Int("runs", 50, "independent runs per experiment (the paper uses 50)")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
 		concurrent = flag.Int("parallel", 1, "experiments to run concurrently (results print in order)")
 		workers    = flag.Int("workers", 0, "worker-pool width for Monte Carlo runs within an experiment (0 = GOMAXPROCS; results are identical at any width)")
+		manifest   = flag.String("manifest", "run-manifest.json", "write a JSON run manifest to this path after the run (\"\" disables)")
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
-	if err := run(os.Stdout, *which, *runs, *seed, *concurrent); err != nil {
+	m, err := runAll(os.Stdout, *which, *runs, *seed, *concurrent)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
+	if *manifest != "" {
+		if err := writeManifest(*manifest, m); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		expLog.Info("manifest written", "path", *manifest)
+	}
 }
 
-// run executes the selected experiments — up to parallel of them
-// concurrently — and renders the results to w in declaration order.
+// manifestEntry records one experiment's wall time.
+type manifestEntry struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wallSeconds"`
+}
+
+// runManifest ties a results table to the configuration that produced
+// it: seed, pool width, per-experiment timings, and the binary version
+// (stamped from build info, git-describe style).
+type runManifest struct {
+	Seed        int64           `json:"seed"`
+	Runs        int             `json:"runs"`
+	Workers     int             `json:"workers"`
+	Parallel    int             `json:"parallel"`
+	Version     string          `json:"version"`
+	StartedAt   time.Time       `json:"startedAt"`
+	WallSeconds float64         `json:"wallSeconds"`
+	Experiments []manifestEntry `json:"experiments"`
+}
+
+func writeManifest(path string, m *runManifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// run executes the selected experiments and renders the results to w
+// in declaration order; kept as the manifest-free entry point.
 func run(w io.Writer, which string, runs int, seed int64, parallel int) error {
+	_, err := runAll(w, which, runs, seed, parallel)
+	return err
+}
+
+// runAll executes the selected experiments — up to parallel of them
+// concurrently — renders the results to w in declaration order, and
+// returns a manifest of what ran and how long each phase took. Each
+// experiment is timed as an obs span (obs_span_seconds{span="<id>"})
+// and logged through expLog.
+func runAll(w io.Writer, which string, runs int, seed int64, concurrent int) (*runManifest, error) {
 	all := []struct {
 		id string
 		fn runner
@@ -85,21 +145,31 @@ func run(w io.Writer, which string, runs int, seed int64, parallel int) error {
 		jobs = append(jobs, job{e.id, e.fn})
 	}
 	if len(jobs) == 0 {
-		return fmt.Errorf("no experiment matches -run=%s", which)
+		return nil, fmt.Errorf("no experiment matches -run=%s", which)
 	}
-	if parallel < 1 {
-		parallel = 1
+	if concurrent < 1 {
+		concurrent = 1
 	}
-	if parallel > len(jobs) {
-		parallel = len(jobs)
+	if concurrent > len(jobs) {
+		concurrent = len(jobs)
 	}
 
-	type outcome struct {
-		res experiments.Result
-		err error
+	m := &runManifest{
+		Seed:      seed,
+		Runs:      runs,
+		Workers:   parallel.DefaultWorkers(),
+		Parallel:  concurrent,
+		Version:   obs.Version(),
+		StartedAt: time.Now().UTC(),
 	}
+	type outcome struct {
+		res     experiments.Result
+		err     error
+		seconds float64
+	}
+	start := time.Now()
 	results := make([]outcome, len(jobs))
-	sem := make(chan struct{}, parallel)
+	sem := make(chan struct{}, concurrent)
 	var wg sync.WaitGroup
 	for i, j := range jobs {
 		wg.Add(1)
@@ -107,16 +177,26 @@ func run(w io.Writer, which string, runs int, seed int64, parallel int) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			expLog.Info("experiment start", "id", j.id, "runs", runs, "seed", seed)
+			sp := obs.StartSpan(j.id)
 			res, err := j.fn(runs, seed)
-			results[i] = outcome{res: res, err: err}
+			d := sp.End()
+			results[i] = outcome{res: res, err: err, seconds: d.Seconds()}
+			if err != nil {
+				expLog.Error("experiment failed", "id", j.id, "seconds", d.Seconds(), "err", err)
+				return
+			}
+			expLog.Info("experiment done", "id", j.id, "seconds", d.Seconds())
 		}(i, j)
 	}
 	wg.Wait()
+	m.WallSeconds = time.Since(start).Seconds()
 	for i, out := range results {
 		if out.err != nil {
-			return fmt.Errorf("%s: %w", jobs[i].id, out.err)
+			return nil, fmt.Errorf("%s: %w", jobs[i].id, out.err)
 		}
+		m.Experiments = append(m.Experiments, manifestEntry{ID: jobs[i].id, WallSeconds: out.seconds})
 		fmt.Fprintln(w, out.res.Render())
 	}
-	return nil
+	return m, nil
 }

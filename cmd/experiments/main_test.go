@@ -2,9 +2,23 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// TestMain silences phase-timing logs during tests unless -v is set.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if !testing.Verbose() {
+		expLog.SetOutput(io.Discard)
+	}
+	os.Exit(m.Run())
+}
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
@@ -41,5 +55,52 @@ func TestRunUnknownID(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, "ZZZ", 1, 1, 1); err == nil {
 		t.Fatal("expected error for unknown experiment id")
+	}
+}
+
+// TestRunManifest checks the manifest records configuration and one
+// timed entry per selected experiment, in declaration order, and that
+// it round-trips through writeManifest as valid JSON.
+func TestRunManifest(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := runAll(&buf, "E1,E9", 2, 42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 42 || m.Runs != 2 || m.Parallel != 2 {
+		t.Fatalf("manifest config %+v", m)
+	}
+	if m.Workers < 1 {
+		t.Fatalf("manifest workers = %d", m.Workers)
+	}
+	if m.Version == "" {
+		t.Fatal("manifest missing version")
+	}
+	if len(m.Experiments) != 2 || m.Experiments[0].ID != "E1" || m.Experiments[1].ID != "E9" {
+		t.Fatalf("manifest entries %+v", m.Experiments)
+	}
+	for _, e := range m.Experiments {
+		if e.WallSeconds <= 0 {
+			t.Fatalf("experiment %s has no wall time", e.ID)
+		}
+	}
+	if m.WallSeconds < m.Experiments[0].WallSeconds && m.Parallel == 1 {
+		t.Fatalf("total wall %g below a phase's", m.WallSeconds)
+	}
+
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := writeManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got runManifest
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if got.Seed != 42 || len(got.Experiments) != 2 {
+		t.Fatalf("round-tripped manifest %+v", got)
 	}
 }

@@ -131,6 +131,17 @@ func Bootstrap[C any, D comparable](t Trace[C, D], est Estimator[C, D], rng *mat
 	}, nil
 }
 
+// BootstrapStats reports bookkeeping from a seeded bootstrap run, so
+// callers can tell a fragile interval (many failed resamples) from a
+// solid one and export the distinction as a metric.
+type BootstrapStats struct {
+	// Resamples is the number of resamples attempted (b after defaulting).
+	Resamples int
+	// Skipped counts resamples on which the estimator failed; their
+	// values do not enter the interval.
+	Skipped int
+}
+
 // BootstrapSeeded computes the same percentile bootstrap interval as
 // Bootstrap, but runs the b resamples on the shared worker pool with
 // one independent PCG stream per resample (parallel.ShardedRNG shard i
@@ -142,16 +153,25 @@ func Bootstrap[C any, D comparable](t Trace[C, D], est Estimator[C, D], rng *mat
 //
 // Resamples on which the estimator fails are skipped, as in Bootstrap;
 // if every resample fails, the error of the last (highest-index)
-// failing resample is returned.
+// failing resample is returned. Use BootstrapSeededStats to learn how
+// many resamples were skipped.
 func BootstrapSeeded[C any, D comparable](t Trace[C, D], est Estimator[C, D], seed int64, b int, level float64) (Interval, error) {
+	iv, _, err := BootstrapSeededStats(t, est, seed, b, level)
+	return iv, err
+}
+
+// BootstrapSeededStats is BootstrapSeeded plus resample bookkeeping.
+// The skipped count is as deterministic as the interval: it depends
+// only on (t, est, seed, b), never on the worker count.
+func BootstrapSeededStats[C any, D comparable](t Trace[C, D], est Estimator[C, D], seed int64, b int, level float64) (Interval, BootstrapStats, error) {
 	if len(t) == 0 {
-		return Interval{}, ErrEmptyTrace
+		return Interval{}, BootstrapStats{}, ErrEmptyTrace
 	}
 	if b <= 0 {
 		b = 200
 	}
 	if level <= 0 || level >= 1 {
-		return Interval{}, fmt.Errorf("core: confidence level %g out of (0,1)", level)
+		return Interval{}, BootstrapStats{}, fmt.Errorf("core: confidence level %g out of (0,1)", level)
 	}
 	type draw struct {
 		value float64
@@ -170,22 +190,24 @@ func BootstrapSeeded[C any, D comparable](t Trace[C, D], est Estimator[C, D], se
 		}
 		return draw{value: e.Value}, nil
 	})
+	stats := BootstrapStats{Resamples: b}
 	values := make([]float64, 0, b)
 	var lastErr error
 	for _, d := range draws {
 		if d.err != nil {
 			lastErr = d.err
+			stats.Skipped++
 			continue
 		}
 		values = append(values, d.value)
 	}
 	if len(values) == 0 {
-		return Interval{}, fmt.Errorf("core: all bootstrap resamples failed: %w", lastErr)
+		return Interval{}, stats, fmt.Errorf("core: all bootstrap resamples failed: %w", lastErr)
 	}
 	alpha := (1 - level) / 2
 	return Interval{
 		Lo:    mathx.Quantile(values, alpha),
 		Hi:    mathx.Quantile(values, 1-alpha),
 		Level: level,
-	}, nil
+	}, stats, nil
 }

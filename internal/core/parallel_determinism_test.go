@@ -190,3 +190,61 @@ func TestBootstrapSeededValidation(t *testing.T) {
 		t.Fatal("all-failing estimator accepted")
 	}
 }
+
+// TestBootstrapSeededStatsSkipped asserts the skipped-resample count is
+// (a) reported, (b) excluded from the interval, and (c) as deterministic
+// as the interval itself — identical at worker counts 1, 2 and 8.
+func TestBootstrapSeededStatsSkipped(t *testing.T) {
+	tr, np, model := determinismTrace(50)
+	// Fail on a deterministic property of the resample (contexts are
+	// uniform on [0,1), so this rejects roughly half the 120 shard
+	// streams — a known subset for any fixed seed).
+	flaky := func(tt Trace[float64, int]) (Estimate, error) {
+		if tt[0].Context > 0.5 {
+			return Estimate{}, ErrNoMatches
+		}
+		return DoublyRobust(tt, np, model, DROptions{})
+	}
+	var wantIv Interval
+	var want BootstrapStats
+	withParallelism(t, 1, 1<<30, func() {
+		var err error
+		wantIv, want, err = BootstrapSeededStats(tr, flaky, 7, 120, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if want.Resamples != 120 {
+		t.Fatalf("Resamples = %d, want 120", want.Resamples)
+	}
+	if want.Skipped == 0 || want.Skipped >= want.Resamples {
+		t.Fatalf("implausible Skipped = %d (flaky estimator should fail some but not all resamples)", want.Skipped)
+	}
+	for _, w := range workerCounts {
+		withParallelism(t, w, 1<<30, func() {
+			iv, stats, err := BootstrapSeededStats(tr, flaky, 7, 120, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iv != wantIv || stats != want {
+				t.Fatalf("workers=%d: (%+v, %+v) != (%+v, %+v)", w, iv, stats, wantIv, want)
+			}
+		})
+	}
+	// The wrapper must agree with the stats variant.
+	iv, err := BootstrapSeeded(tr, flaky, 7, 120, 0.9)
+	if err != nil || iv != wantIv {
+		t.Fatalf("BootstrapSeeded disagrees: %+v, %v", iv, err)
+	}
+	// All-failing runs still report their stats.
+	alwaysFail := func(Trace[float64, int]) (Estimate, error) {
+		return Estimate{}, ErrNoMatches
+	}
+	_, stats, err := BootstrapSeededStats(tr, alwaysFail, 1, 10, 0.95)
+	if err == nil {
+		t.Fatal("all-failing estimator accepted")
+	}
+	if stats.Skipped != 10 || stats.Resamples != 10 {
+		t.Fatalf("all-failing stats = %+v", stats)
+	}
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("route", "/x"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create: same (name, labels) returns the same instance.
+	if r.Counter("requests_total", L("route", "/x")) != c {
+		t.Fatal("lookup did not return the existing counter")
+	}
+	// Different labels are a different series.
+	if r.Counter("requests_total", L("route", "/y")) == c {
+		t.Fatal("distinct labels returned the same series")
+	}
+
+	g := r.Gauge("in_flight")
+	g.Set(3)
+	g.Add(2)
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %g, want 4", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", L("b", "2"), L("a", "1"))
+	b := r.Counter("m", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+// TestHelpBeforeRegistration: Help may run before the first metric of
+// a family is created (package init order is arbitrary across files);
+// the first registration adopts the pre-created family.
+func TestHelpBeforeRegistration(t *testing.T) {
+	r := NewRegistry()
+	r.Help("lat_seconds", "Latency.")
+	h := r.Histogram("lat_seconds", []float64{1})
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# HELP lat_seconds Latency.") ||
+		!strings.Contains(out, "# TYPE lat_seconds histogram") {
+		t.Fatalf("help/type mismatch:\n%s", out)
+	}
+	// A help-only family with no series is omitted entirely.
+	r.Help("ghost", "Never registered.")
+	sb.Reset()
+	_ = r.WritePrometheus(&sb)
+	if strings.Contains(sb.String(), "ghost") {
+		t.Fatalf("series-less family exposed:\n%s", sb.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering counter name as gauge")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(b) != len(want) {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for factor <= 1")
+		}
+	}()
+	ExpBuckets(1, 1, 3)
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+5+50; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Bucket upper bounds are inclusive: 0.1 lands in le="0.1".
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="10"} 4`,
+		`lat_bucket{le="+Inf"} 5`,
+		`lat_count 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Help("hits_total", "Total hits.")
+	r.Counter("hits_total", L("route", "/a")).Add(3)
+	r.Counter("hits_total", L("route", "/b")).Add(1)
+	r.Gauge("temp").Set(1.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP hits_total Total hits.\n" +
+		"# TYPE hits_total counter\n" +
+		"hits_total{route=\"/a\"} 3\n" +
+		"hits_total{route=\"/b\"} 1\n" +
+		"# TYPE temp gauge\n" +
+		"temp 1.5\n"
+	if sb.String() != want {
+		t.Fatalf("exposition:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", L("k", "a\"b\\c\nd")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("unescaped label value:\n%s", sb.String())
+	}
+}
+
+// TestPrometheusOutputParses asserts every sample line is
+// "name{labels} value" with a numeric value — the property the drevald
+// /metrics test also checks end to end.
+func TestPrometheusOutputParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", L("x", "1")).Inc()
+	r.Gauge("g").Set(-2.5)
+	r.Histogram("h", ExpBuckets(0.001, 2, 5)).Observe(0.01)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g", L("x", "y")).Set(2)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["c"] != uint64(7) {
+		t.Fatalf("snapshot c = %v", snap["c"])
+	}
+	if snap[`g{x="y"}`] != 2.0 {
+		t.Fatalf("snapshot g = %v", snap[`g{x="y"}`])
+	}
+	// The whole snapshot must be JSON-encodable for /debug/vars.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+	h, ok := snap["h"].(map[string]any)
+	if !ok || h["count"] != uint64(1) {
+		t.Fatalf("snapshot h = %#v", snap["h"])
+	}
+}
+
+// TestConcurrentUse hammers one counter, gauge and histogram from many
+// goroutines while a reader scrapes — the package's race-detector
+// canary, and a check that no increment is lost.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", ExpBuckets(0.001, 2, 8))
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / perWorker)
+				// Exercise get-or-create concurrently too.
+				r.Counter("c").Value()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*perWorker {
+		t.Fatalf("lost counter increments: %d", c.Value())
+	}
+	if g.Value() != workers*perWorker {
+		t.Fatalf("lost gauge adds: %g", g.Value())
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("lost observations: %d", h.Count())
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// spanSeconds is the family every span duration lands in, one series
+// per span name: obs_span_seconds{span="drevald_bootstrap"}.
+const spanSeconds = "obs_span_seconds"
+
+// Span measures one timed operation. End records the elapsed time into
+// the registry's span-duration histogram. Spans carry an ID — generated
+// at the root, inherited by children — so request-scoped work (HTTP
+// handler → bootstrap → resample batch) can be correlated in logs.
+type Span struct {
+	reg   *Registry
+	name  string
+	id    string
+	start time.Time
+	hist  *Histogram
+}
+
+// StartSpan opens a span on the registry with a fresh ID.
+func (r *Registry) StartSpan(name string) *Span {
+	return &Span{
+		reg:   r,
+		name:  name,
+		id:    NewID(),
+		start: time.Now(),
+		hist:  r.Histogram(spanSeconds, TimeBuckets, L("span", name)),
+	}
+}
+
+// StartSpan opens a span on the Default registry.
+func StartSpan(name string) *Span { return Default.StartSpan(name) }
+
+// StartChild opens a sub-span that inherits this span's ID, so all
+// phases of one request share a correlation key.
+func (s *Span) StartChild(name string) *Span {
+	return &Span{
+		reg:   s.reg,
+		name:  name,
+		id:    s.id,
+		start: time.Now(),
+		hist:  s.reg.Histogram(spanSeconds, TimeBuckets, L("span", name)),
+	}
+}
+
+// ID returns the span's correlation ID.
+func (s *Span) ID() string { return s.id }
+
+// Name returns the span's name.
+func (s *Span) Name() string { return s.name }
+
+// End records the elapsed duration and returns it. Safe on a nil span
+// (records nothing), so callers can End unconditionally.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.hist.Observe(d.Seconds())
+	return d
+}
+
+// idCounter and idBase drive NewID. IDs come from a counter mixed
+// through SplitMix64 — deliberately not from any evaluation RNG, so ID
+// generation can never perturb the deterministic PCG streams.
+var (
+	idCounter atomic.Uint64
+	idBase    = uint64(time.Now().UnixNano())
+)
+
+// NewID returns a 16-hex-digit identifier, unique within the process
+// and varying across processes. Used for request and span IDs.
+func NewID() string {
+	x := idBase + idCounter.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return fmt.Sprintf("%016x", x)
+}

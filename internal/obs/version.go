@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+var versionOnce = sync.OnceValue(buildVersion)
+
+// Version returns a git-describe-style version string for the running
+// binary, stamped from runtime/debug.ReadBuildInfo: the module version
+// when the build has one, otherwise the short VCS revision with a
+// "-dirty" suffix when the working tree was modified, otherwise
+// "devel".
+func Version() string { return versionOnce() }
+
+func buildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty && rev != "" {
+		rev += "-dirty"
+	}
+	// A real module version (including pseudo-versions, which already
+	// embed the short revision) is authoritative; fall back to the VCS
+	// revision only for (devel) builds.
+	v := bi.Main.Version
+	if v == "" || v == "(devel)" {
+		if rev != "" {
+			return rev
+		}
+		return "devel"
+	}
+	return v
+}

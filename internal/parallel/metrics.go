@@ -1,0 +1,39 @@
+package parallel
+
+import (
+	"time"
+
+	"drnet/internal/obs"
+)
+
+// Pool instrumentation on the process-wide obs registry. A "task" is
+// one chunk claimed from a ForEach dispatch (every Map/Times/MapReduce
+// call and every estimator or bootstrap fan-out lands here). All
+// updates are atomics on cached pointers, so instrumentation cannot
+// reorder work or touch the sharded RNG streams — determinism is
+// untouched.
+var (
+	poolTasks       = obs.Default.Counter("parallel_pool_tasks_total")
+	poolTaskSeconds = obs.Default.Histogram("parallel_pool_task_seconds", obs.TimeBuckets)
+	poolActive      = obs.Default.Gauge("parallel_pool_active_workers")
+	poolQueue       = obs.Default.Gauge("parallel_pool_queue_depth")
+	poolWorkers     = obs.Default.Gauge("parallel_pool_default_workers")
+)
+
+func init() {
+	obs.Default.Help("parallel_pool_tasks_total", "Chunks executed by the shared worker pool.")
+	obs.Default.Help("parallel_pool_task_seconds", "Per-chunk execution time on the worker pool.")
+	obs.Default.Help("parallel_pool_active_workers", "Worker goroutines currently running pool chunks.")
+	obs.Default.Help("parallel_pool_queue_depth", "Chunks dispatched but not yet claimed by a worker.")
+	obs.Default.Help("parallel_pool_default_workers", "Configured default worker count (SetDefaultWorkers; 0 resolves to GOMAXPROCS).")
+	poolWorkers.Set(float64(DefaultWorkers()))
+}
+
+// recordTask times fn as one pool task.
+func recordTask(fn func() error) error {
+	start := time.Now()
+	err := fn()
+	poolTaskSeconds.Observe(time.Since(start).Seconds())
+	poolTasks.Inc()
+	return err
+}

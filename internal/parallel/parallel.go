@@ -35,6 +35,7 @@ func SetDefaultWorkers(n int) {
 		n = 0
 	}
 	defaultWorkers.Store(int64(n))
+	poolWorkers.Set(float64(DefaultWorkers()))
 }
 
 // DefaultWorkers returns the currently configured default worker count
@@ -84,13 +85,14 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 		workers = chunks
 	}
 	if workers == 1 {
-		// Plain loop: no goroutines, no pool overhead.
+		// Plain loop: no goroutines, no pool overhead (beyond per-chunk
+		// task accounting, which is two atomics and a clock read).
 		for lo := 0; lo < n; lo += grain {
 			hi := lo + grain
 			if hi > n {
 				hi = n
 			}
-			if err := fn(lo, hi); err != nil {
+			if err := recordTask(func() error { return fn(lo, hi) }); err != nil {
 				return err
 			}
 		}
@@ -99,23 +101,29 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 
 	errs := make([]error, chunks)
 	var next atomic.Int64
+	var claimed atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
+	poolQueue.Add(float64(chunks))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			poolActive.Inc()
+			defer poolActive.Dec()
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= chunks || failed.Load() {
 					return
 				}
+				claimed.Add(1)
+				poolQueue.Dec()
 				lo := c * grain
 				hi := lo + grain
 				if hi > n {
 					hi = n
 				}
-				if err := fn(lo, hi); err != nil {
+				if err := recordTask(func() error { return fn(lo, hi) }); err != nil {
 					errs[c] = err
 					failed.Store(true)
 				}
@@ -123,6 +131,11 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 		}()
 	}
 	wg.Wait()
+	// Chunks abandoned after a failure were counted into the queue
+	// gauge but never claimed; settle the balance.
+	if leftover := int64(chunks) - claimed.Load(); leftover > 0 {
+		poolQueue.Add(-float64(leftover))
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -52,6 +52,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -62,6 +63,7 @@ import (
 	"drnet/internal/core"
 	"drnet/internal/obs"
 	"drnet/internal/parallel"
+	"drnet/internal/resilience"
 	"drnet/internal/traceio"
 )
 
@@ -70,7 +72,42 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool width for per-request bootstrap resampling (0 = GOMAXPROCS)")
 	debugAddr := flag.String("debug-addr", "", "optional second listen address for /debug/pprof, /metrics and /debug/vars (empty = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	reqTimeout := flag.Duration("request-timeout", requestTimeout, "per-request deadline for /evaluate and /diagnose; the bootstrap stops scheduling work once it expires (0 = no deadline)")
+	drain := flag.Duration("drain-timeout", drainTimeout, "how long shutdown waits for in-flight requests to finish (must be > 0)")
+	maxConcurrent := flag.Int("max-concurrent", 64, "maximum /evaluate and /diagnose requests computing at once (must be >= 1)")
+	maxQueue := flag.Int("max-queue", 256, "requests allowed to wait for a compute slot before the server sheds with 429 (0 = no queue)")
+	essFloor := flag.Float64("ess-ratio-floor", degradeThresholds.ESSRatioFloor, "degrade /evaluate responses when ESS/N falls below this (0 = disabled)")
+	weightCeiling := flag.Float64("max-weight-ceiling", degradeThresholds.MaxWeightCeiling, "degrade /evaluate responses when the largest importance weight exceeds this (0 = disabled)")
+	zeroCap := flag.Float64("zero-support-cap", degradeThresholds.ZeroSupportCap, "degrade /evaluate responses when the zero-support record fraction exceeds this (0 = disabled)")
+	fbClip := flag.Float64("fallback-clip", fallbackClip, "importance-weight clip of the degraded-mode fallback estimator (must be > 0)")
 	flag.Parse()
+	if *drain <= 0 {
+		log.Fatalf("drevald: -drain-timeout must be > 0, got %v", *drain)
+	}
+	if *reqTimeout < 0 {
+		log.Fatalf("drevald: -request-timeout must be >= 0, got %v", *reqTimeout)
+	}
+	if *maxConcurrent < 1 {
+		log.Fatalf("drevald: -max-concurrent must be >= 1, got %d", *maxConcurrent)
+	}
+	if *maxQueue < 0 {
+		log.Fatalf("drevald: -max-queue must be >= 0, got %d", *maxQueue)
+	}
+	if *essFloor < 0 || *weightCeiling < 0 || *zeroCap < 0 {
+		log.Fatalf("drevald: degradation thresholds must be >= 0")
+	}
+	if *fbClip <= 0 {
+		log.Fatalf("drevald: -fallback-clip must be > 0, got %g", *fbClip)
+	}
+	requestTimeout = *reqTimeout
+	drainTimeout = *drain
+	evalLimiter = resilience.NewLimiter(*maxConcurrent, *maxQueue)
+	degradeThresholds = resilience.Thresholds{
+		ESSRatioFloor:    *essFloor,
+		MaxWeightCeiling: *weightCeiling,
+		ZeroSupportCap:   *zeroCap,
+	}
+	fallbackClip = *fbClip
 	parallel.SetDefaultWorkers(*workers)
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -102,8 +139,32 @@ func main() {
 	}
 }
 
-// drainTimeout bounds how long shutdown waits for in-flight requests.
-const drainTimeout = 10 * time.Second
+// Resilience knobs, all flag-configurable in main. They are package
+// variables so the lifecycle tests can tighten them; production code
+// sets them once before serving and never mutates them mid-flight.
+var (
+	// drainTimeout bounds how long shutdown waits for in-flight
+	// requests (-drain-timeout, surfaced in /healthz).
+	drainTimeout = 10 * time.Second
+	// requestTimeout is the per-request compute deadline for /evaluate
+	// and /diagnose (-request-timeout, 0 disables). When it expires the
+	// bootstrap stops scheduling new resamples and the handler answers
+	// 503 with {"timeout":true}.
+	requestTimeout = 60 * time.Second
+	// evalLimiter admits /evaluate and /diagnose work: up to
+	// -max-concurrent requests compute while -max-queue more wait;
+	// beyond that the server sheds with 429 + Retry-After.
+	evalLimiter = resilience.NewLimiter(64, 256)
+	// degradeThresholds decide when an /evaluate response is tagged
+	// degraded and carries a fallback estimate.
+	degradeThresholds = resilience.DefaultThresholds()
+	// fallbackClip is the weight clip of the degraded-mode fallback
+	// estimator (clipped self-normalized IPS).
+	fallbackClip = 10.0
+	// maxBootstrapResamples caps options.bootstrap so one request
+	// cannot monopolize the pool indefinitely.
+	maxBootstrapResamples = 10000
+)
 
 // server bundles the HTTP server with its listener so tests can bind
 // to :0 and drive the full serve/shutdown lifecycle in-process.
@@ -157,25 +218,31 @@ func (s *server) run(stop <-chan os.Signal) error {
 func newMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", instrument("/healthz", handleHealthz))
-	mux.Handle("POST /diagnose", instrument("/diagnose", handleDiagnose))
-	mux.Handle("POST /evaluate", instrument("/evaluate", handleEvaluate))
+	mux.Handle("POST /diagnose", instrument("/diagnose", limited("/diagnose", handleDiagnose)))
+	mux.Handle("POST /evaluate", instrument("/evaluate", limited("/evaluate", handleEvaluate)))
 	mux.Handle("GET /metrics", instrument("/metrics", handleMetrics))
 	mux.Handle("GET /debug/vars", instrument("/debug/vars", handleVars))
 	return mux
 }
 
-// healthJSON is the /healthz response body.
+// healthJSON is the /healthz response body. The timeout fields surface
+// the server's resilience configuration so orchestrators can size their
+// own probe budgets (e.g. terminationGracePeriod > drainTimeout).
 type healthJSON struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-	Version       string  `json:"version"`
+	Status                string  `json:"status"`
+	UptimeSeconds         float64 `json:"uptimeSeconds"`
+	Version               string  `json:"version"`
+	DrainTimeoutSeconds   float64 `json:"drainTimeoutSeconds"`
+	RequestTimeoutSeconds float64 `json:"requestTimeoutSeconds"`
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, healthJSON{
-		Status:        "ok",
-		UptimeSeconds: time.Since(serverStart).Seconds(),
-		Version:       obs.Version(),
+		Status:                "ok",
+		UptimeSeconds:         time.Since(serverStart).Seconds(),
+		Version:               obs.Version(),
+		DrainTimeoutSeconds:   drainTimeout.Seconds(),
+		RequestTimeoutSeconds: requestTimeout.Seconds(),
 	})
 }
 
@@ -238,6 +305,23 @@ type evalResponse struct {
 	Diagnostics      diagnosticsJSON `json:"diagnostics"`
 	DRInterval       *intervalJSON   `json:"drInterval,omitempty"`
 	BootstrapSkipped *int            `json:"bootstrapSkipped,omitempty"`
+	// Degraded is true when the trace's overlap diagnostics crossed a
+	// configured threshold (see -ess-ratio-floor and friends): the
+	// requested estimates are still returned, but DegradedReasons says
+	// which diagnostics failed and Fallback carries a variance-robust
+	// alternative (clipped self-normalized IPS). Clients should prefer
+	// Fallback — or collect a better trace — when Degraded is set.
+	Degraded        bool                `json:"degraded"`
+	DegradedReasons []resilience.Reason `json:"degradedReasons,omitempty"`
+	Fallback        *fallbackJSON       `json:"fallback,omitempty"`
+}
+
+// fallbackJSON is the degraded-mode alternative estimate.
+type fallbackJSON struct {
+	// Estimator names the fallback ("snips-clip": self-normalized IPS
+	// with weights clipped at -fallback-clip).
+	Estimator string       `json:"estimator"`
+	Estimate  estimateJSON `json:"estimate"`
 }
 
 // maxBodyBytes bounds request bodies (64 MiB). A variable so tests can
@@ -259,6 +343,29 @@ func parseEvalRequest(body io.Reader) (*evalRequest, core.Trace[traceio.FlatCont
 	}
 	if len(req.Trace) == 0 {
 		return nil, nil, nil, errors.New("empty trace")
+	}
+	// Reject non-finite numerics up front with a record-addressed
+	// message. Standard JSON cannot encode NaN/Inf, but permissive
+	// clients exist and a NaN that slips past here poisons every
+	// weighted sum downstream.
+	for i, rec := range req.Trace {
+		if math.IsNaN(rec.Reward) || math.IsInf(rec.Reward, 0) {
+			return nil, nil, nil, fmt.Errorf("record %d: reward must be finite, got %g", i, rec.Reward)
+		}
+		if math.IsNaN(rec.Propensity) || math.IsInf(rec.Propensity, 0) {
+			return nil, nil, nil, fmt.Errorf("record %d: propensity must be finite, got %g", i, rec.Propensity)
+		}
+		for j, f := range rec.Features {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, nil, nil, fmt.Errorf("record %d: feature %d must be finite, got %g", i, j, f)
+			}
+		}
+	}
+	if req.Options.Bootstrap < 0 {
+		return nil, nil, nil, fmt.Errorf("options.bootstrap must not be negative, got %d", req.Options.Bootstrap)
+	}
+	if req.Options.Bootstrap > maxBootstrapResamples {
+		return nil, nil, nil, fmt.Errorf("options.bootstrap %d exceeds the maximum of %d resamples", req.Options.Bootstrap, maxBootstrapResamples)
 	}
 	trace := traceio.ToCore(traceio.FlatTrace{Records: req.Trace})
 	if req.Options.EstimatePropensities {
@@ -292,14 +399,58 @@ func decodeRequest(w http.ResponseWriter, r *http.Request) (*evalRequest, core.T
 	return req, trace, policy, true
 }
 
+// requestCtx derives the compute context for /evaluate and /diagnose:
+// the request's own context (cancelled when the client disconnects)
+// bounded by -request-timeout. Estimators and the bootstrap stop
+// scheduling work within one chunk boundary once it ends.
+func requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if requestTimeout <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), requestTimeout)
+}
+
+// writeEvalError renders a compute-path failure. Context expiry becomes
+// 503 with a machine-readable flag ({"timeout":true} for a deadline,
+// {"canceled":true} for client abandonment) so callers and the CI smoke
+// test can distinguish overload from bad input; everything else is the
+// usual 422.
+func writeEvalError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		timeoutsTotal.Inc()
+		writeJSONStatus(w, http.StatusServiceUnavailable, evalErrorJSON{
+			Error:   "request deadline exceeded before evaluation finished",
+			Timeout: true,
+		})
+	case errors.Is(err, context.Canceled):
+		canceledTotal.Inc()
+		writeJSONStatus(w, http.StatusServiceUnavailable, evalErrorJSON{
+			Error:    "request canceled before evaluation finished",
+			Canceled: true,
+		})
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+// evalErrorJSON is the error body of /evaluate and /diagnose.
+type evalErrorJSON struct {
+	Error    string `json:"error"`
+	Timeout  bool   `json:"timeout,omitempty"`
+	Canceled bool   `json:"canceled,omitempty"`
+}
+
 func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	_, trace, policy, ok := decodeRequest(w, r)
 	if !ok {
 		return
 	}
-	diag, err := core.Diagnose(trace, policy)
+	ctx, cancel := requestCtx(r)
+	defer cancel()
+	diag, err := core.DiagnoseCtx(ctx, trace, policy)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		writeEvalError(w, err)
 		return
 	}
 	writeJSON(w, diagJSON(diag))
@@ -310,9 +461,11 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	diag, err := core.Diagnose(trace, policy)
+	ctx, cancel := requestCtx(r)
+	defer cancel()
+	diag, err := core.DiagnoseCtx(ctx, trace, policy)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		writeEvalError(w, err)
 		return
 	}
 	// Export the request's overlap regime — the continuously watched
@@ -328,22 +481,38 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	model := core.FitTable(trace, func(c traceio.FlatContext, d string) string {
 		return c.Key() + "|" + d
 	})
-	dm, err := core.DirectMethod(trace, policy, model)
+	dm, err := core.DirectMethodCtx(ctx, trace, policy, model)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		writeEvalError(w, err)
 		return
 	}
-	ips, err := core.IPS(trace, policy, core.IPSOptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+	ips, err := core.IPSCtx(ctx, trace, policy, core.IPSOptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		writeEvalError(w, err)
 		return
 	}
-	dr, err := core.DoublyRobust(trace, policy, model, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+	dr, err := core.DoublyRobustCtx(ctx, trace, policy, model, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		writeEvalError(w, err)
 		return
 	}
 	resp := evalResponse{DM: toJSON(dm), IPS: toJSON(ips), DR: toJSON(dr), Diagnostics: diagJSON(diag)}
+	// Graceful degradation: when the overlap diagnostics cross a
+	// configured threshold the response still carries every requested
+	// estimate, but is tagged degraded with machine-readable reasons
+	// and a variance-robust fallback — never a bare error.
+	if reasons := degradeThresholds.Check(diag.N, diag.ESS, diag.MaxWeight, diag.ZeroSupport); len(reasons) > 0 {
+		fb, err := core.IPSCtx(ctx, trace, policy, core.IPSOptions{Clip: fallbackClip, SelfNormalize: true})
+		if err != nil {
+			writeEvalError(w, err)
+			return
+		}
+		resp.Degraded = true
+		resp.DegradedReasons = reasons
+		resp.Fallback = &fallbackJSON{Estimator: "snips-clip", Estimate: toJSON(fb)}
+		degradedTotal.Inc()
+		srvLog.Warn("degraded response", "id", requestID(r), "reasons", len(reasons))
+	}
 	if b := req.Options.Bootstrap; b > 0 {
 		seed := req.Options.Seed
 		if seed == 0 {
@@ -352,7 +521,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		// Sharded bootstrap: resamples run on the worker pool, one PCG
 		// stream per resample, so the interval depends only on the seed.
 		sp := obs.StartSpan("drevald_bootstrap")
-		ci, stats, err := core.BootstrapSeededStats(trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
+		ci, stats, err := core.BootstrapSeededStatsCtx(ctx, trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
 			m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
 			return core.DoublyRobust(t, policy, m, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 		}, seed, b, 0.95)
@@ -360,7 +529,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		bootResamples.Add(uint64(stats.Resamples))
 		bootSkipped.Add(uint64(stats.Skipped))
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			writeEvalError(w, err)
 			return
 		}
 		resp.DRInterval = &intervalJSON{Lo: ci.Lo, Hi: ci.Hi, Level: ci.Level}
@@ -378,6 +547,15 @@ func diagJSON(d core.Diagnostics) diagnosticsJSON {
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("drevald: encoding response: %v", err)
+	}
+}
+
+// writeJSONStatus is writeJSON with an explicit status code.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		log.Printf("drevald: encoding response: %v", err)
 	}

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"drnet/internal/obs"
+	"drnet/internal/resilience"
 )
 
 // srvLog is the service's structured logger. Access logs and handler
@@ -38,6 +41,15 @@ var (
 	bootSkipped   = obs.Default.Counter("drevald_bootstrap_skipped_total")
 )
 
+// Resilience metrics: how often the service degrades, sheds, times out
+// or recovers a panic — the operator's view of every non-happy path.
+var (
+	panicsTotal   = obs.Default.Counter("drevald_panics_total")
+	degradedTotal = obs.Default.Counter("drevald_degraded_total")
+	timeoutsTotal = obs.Default.Counter("drevald_request_timeouts_total")
+	canceledTotal = obs.Default.Counter("drevald_request_canceled_total")
+)
+
 func init() {
 	obs.Default.Help("drevald_http_requests_total", "HTTP requests served, by route and status class.")
 	obs.Default.Help("drevald_http_request_seconds", "HTTP request latency, by route.")
@@ -47,6 +59,12 @@ func init() {
 	obs.Default.Help("drevald_eval_zero_support", "Zero-support record count per /evaluate request.")
 	obs.Default.Help("drevald_bootstrap_resamples_total", "Bootstrap resamples attempted by /evaluate.")
 	obs.Default.Help("drevald_bootstrap_skipped_total", "Bootstrap resamples skipped because the estimator failed.")
+	obs.Default.Help("drevald_panics_total", "Handler panics recovered and converted into 500s.")
+	obs.Default.Help("drevald_degraded_total", "Responses tagged degraded because overlap diagnostics crossed a threshold.")
+	obs.Default.Help("drevald_request_timeouts_total", "Requests answered 503 because -request-timeout expired mid-computation.")
+	obs.Default.Help("drevald_request_canceled_total", "Requests answered 503 because the client went away mid-computation.")
+	obs.Default.Help("drevald_load_shed_total", "Requests shed with 429 because the admission queue was full, by route.")
+	obs.Default.Help("drevald_queue_wait_seconds", "Time admitted requests spent waiting for a compute slot, by route.")
 }
 
 // reqIDKey carries the request ID through the request context.
@@ -65,14 +83,19 @@ type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+	// wrote tracks whether the handler produced any output, so the
+	// panic-recovery middleware knows if a 500 can still be written.
+	wrote bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
 func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += n
 	return n, err
@@ -116,7 +139,32 @@ func instrument(route string, h http.HandlerFunc) http.Handler {
 		defer inFlight.Dec()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		func() {
+			// Panic recovery: a handler (or injected) panic becomes a
+			// 500 and a drevald_panics_total tick instead of killing
+			// the connection with an empty reply. If the handler
+			// already wrote, the status is only corrected in the
+			// metrics/logs — the wire bytes are gone.
+			defer func() {
+				if p := recover(); p != nil {
+					panicsTotal.Inc()
+					srvLog.Error("handler panic", "id", id, "route", route, "panic", fmt.Sprint(p))
+					if !rec.wrote {
+						httpError(rec, http.StatusInternalServerError, "internal server error")
+					} else {
+						rec.status = http.StatusInternalServerError
+					}
+				}
+			}()
+			// Chaos hook: lets the fault-injection test suite fail or
+			// stall whole requests at the HTTP boundary (point
+			// "http/<route>"); a no-op when no plan is active.
+			if err := resilience.Inject("http" + route); err != nil {
+				httpError(rec, http.StatusInternalServerError, err.Error())
+				return
+			}
+			h(rec, r)
+		}()
 		dur := time.Since(start)
 
 		latency.Observe(dur.Seconds())
@@ -130,6 +178,34 @@ func instrument(route string, h http.HandlerFunc) http.Handler {
 			"durMs", float64(dur.Microseconds())/1000,
 		)
 	})
+}
+
+// limited puts a handler behind the shared evalLimiter: up to
+// -max-concurrent requests compute at once, -max-queue more wait for a
+// slot (the wait is exported as drevald_queue_wait_seconds), and
+// everything beyond that is shed immediately with 429 + Retry-After so
+// overload degrades into fast, explicit rejections instead of a pile of
+// slow timeouts. A client that gives up while queued gets the usual
+// 503 cancellation body.
+func limited(route string, h http.HandlerFunc) http.HandlerFunc {
+	shed := obs.Default.Counter("drevald_load_shed_total", obs.L("route", route))
+	queueWait := obs.Default.Histogram("drevald_queue_wait_seconds", httpRequestBuckets, obs.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, waited, err := evalLimiter.Acquire(r.Context())
+		if err != nil {
+			if errors.Is(err, resilience.ErrSaturated) {
+				shed.Inc()
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusTooManyRequests, "server saturated: concurrency and queue limits reached, retry later")
+				return
+			}
+			writeEvalError(w, err)
+			return
+		}
+		defer release()
+		queueWait.Observe(waited.Seconds())
+		h(w, r)
+	}
 }
 
 // handleMetrics serves the process-wide registry in Prometheus text

@@ -20,13 +20,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"drnet/internal/experiments"
@@ -50,7 +53,12 @@ func main() {
 	)
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
-	m, err := runAll(os.Stdout, *which, *runs, *seed, *concurrent)
+	// SIGINT/SIGTERM cancel the run cooperatively: experiments that have
+	// not started are skipped, in-flight ones finish, and the process
+	// exits non-zero without writing a partial manifest.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	m, err := runAll(ctx, os.Stdout, *which, *runs, *seed, *concurrent)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
@@ -95,7 +103,7 @@ func writeManifest(path string, m *runManifest) error {
 // run executes the selected experiments and renders the results to w
 // in declaration order; kept as the manifest-free entry point.
 func run(w io.Writer, which string, runs int, seed int64, parallel int) error {
-	_, err := runAll(w, which, runs, seed, parallel)
+	_, err := runAll(context.Background(), w, which, runs, seed, parallel)
 	return err
 }
 
@@ -103,8 +111,10 @@ func run(w io.Writer, which string, runs int, seed int64, parallel int) error {
 // concurrently — renders the results to w in declaration order, and
 // returns a manifest of what ran and how long each phase took. Each
 // experiment is timed as an obs span (obs_span_seconds{span="<id>"})
-// and logged through expLog.
-func runAll(w io.Writer, which string, runs int, seed int64, concurrent int) (*runManifest, error) {
+// and logged through expLog. Once ctx ends, experiments that have not
+// yet started are skipped and runAll returns ctx's error after the
+// in-flight ones finish.
+func runAll(ctx context.Context, w io.Writer, which string, runs int, seed int64, concurrent int) (*runManifest, error) {
 	all := []struct {
 		id string
 		fn runner
@@ -166,6 +176,7 @@ func runAll(w io.Writer, which string, runs int, seed int64, concurrent int) (*r
 		res     experiments.Result
 		err     error
 		seconds float64
+		skipped bool
 	}
 	start := time.Now()
 	results := make([]outcome, len(jobs))
@@ -175,8 +186,20 @@ func runAll(w io.Writer, which string, runs int, seed int64, concurrent int) (*r
 		wg.Add(1)
 		go func(i int, j job) {
 			defer wg.Done()
-			sem <- struct{}{}
+			// A signal that lands while this job is waiting for a
+			// concurrency slot (or before it got one) skips the job
+			// entirely; in-flight experiments are left to finish.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results[i] = outcome{skipped: true}
+				return
+			}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				results[i] = outcome{skipped: true}
+				return
+			}
 			expLog.Info("experiment start", "id", j.id, "runs", runs, "seed", seed)
 			sp := obs.StartSpan(j.id)
 			res, err := j.fn(runs, seed)
@@ -191,12 +214,20 @@ func runAll(w io.Writer, which string, runs int, seed int64, concurrent int) (*r
 	}
 	wg.Wait()
 	m.WallSeconds = time.Since(start).Seconds()
+	skipped := 0
 	for i, out := range results {
+		if out.skipped {
+			skipped++
+			continue
+		}
 		if out.err != nil {
 			return nil, fmt.Errorf("%s: %w", jobs[i].id, out.err)
 		}
 		m.Experiments = append(m.Experiments, manifestEntry{ID: jobs[i].id, WallSeconds: out.seconds})
 		fmt.Fprintln(w, out.res.Render())
+	}
+	if skipped > 0 {
+		return nil, fmt.Errorf("interrupted: %d of %d experiments skipped: %w", skipped, len(jobs), ctx.Err())
 	}
 	return m, nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
@@ -63,7 +64,7 @@ func TestRunUnknownID(t *testing.T) {
 // it round-trips through writeManifest as valid JSON.
 func TestRunManifest(t *testing.T) {
 	var buf bytes.Buffer
-	m, err := runAll(&buf, "E1,E9", 2, 42, 2)
+	m, err := runAll(context.Background(), &buf, "E1,E9", 2, 42, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,5 +103,21 @@ func TestRunManifest(t *testing.T) {
 	}
 	if got.Seed != 42 || len(got.Experiments) != 2 {
 		t.Fatalf("round-tripped manifest %+v", got)
+	}
+}
+
+// TestRunAllInterrupted: a context cancelled before any experiment
+// starts skips every job and surfaces as an "interrupted" error, so an
+// operator's Ctrl-C never produces a silently truncated results table.
+func TestRunAllInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	_, err := runAll(ctx, &buf, "E1,E9", 2, 1, 1)
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interrupted", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("cancelled run still rendered results: %q", buf.String())
 	}
 }

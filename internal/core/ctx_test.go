@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+	"drnet/internal/parallel"
+)
+
+// ctxTestTrace builds a moderately sized randomized trace, mirroring
+// the world used by the determinism tests.
+func ctxTestTrace(n int) (Trace[float64, int], Policy[float64, int]) {
+	rng := mathx.NewRNG(5)
+	old := EpsilonGreedyPolicy[float64, int]{
+		Base:      func(float64) int { return 0 },
+		Decisions: []int{0, 1, 2},
+		Epsilon:   0.3,
+	}
+	ctxs := make([]float64, n)
+	for i := range ctxs {
+		ctxs[i] = float64(rng.Intn(4))
+	}
+	tr := CollectTrace(ctxs, old, func(x float64, d int) float64 {
+		return x + float64(d) + rng.Normal(0, 0.05)
+	}, rng)
+	np := EpsilonGreedyPolicy[float64, int]{
+		Base:      func(float64) int { return 2 },
+		Decisions: []int{0, 1, 2},
+		Epsilon:   0.1,
+	}
+	return tr, np
+}
+
+// TestEstimatorCtxVariantsMatchPlain: with a live context the Ctx
+// variants must be bit-identical to their plain counterparts, on both
+// the sequential and the pool path.
+func TestEstimatorCtxVariantsMatchPlain(t *testing.T) {
+	tr, pol := ctxTestTrace(600)
+	model := FitTable(tr, func(c float64, d int) string {
+		return string(rune('0' + d))
+	})
+	for _, threshold := range []int{1, 100000} {
+		old := ParallelThreshold
+		ParallelThreshold = threshold
+		ctx := context.Background()
+		dm1, err1 := DirectMethod(tr, pol, model)
+		dm2, err2 := DirectMethodCtx(ctx, tr, pol, model)
+		if err1 != nil || err2 != nil || dm1 != dm2 {
+			t.Fatalf("threshold=%d: DM diverged: %+v/%v vs %+v/%v", threshold, dm1, err1, dm2, err2)
+		}
+		ips1, err1 := IPS(tr, pol, IPSOptions{Clip: 5})
+		ips2, err2 := IPSCtx(ctx, tr, pol, IPSOptions{Clip: 5})
+		if err1 != nil || err2 != nil || ips1 != ips2 {
+			t.Fatalf("threshold=%d: IPS diverged", threshold)
+		}
+		dr1, err1 := DoublyRobust(tr, pol, model, DROptions{})
+		dr2, err2 := DoublyRobustCtx(ctx, tr, pol, model, DROptions{})
+		if err1 != nil || err2 != nil || dr1 != dr2 {
+			t.Fatalf("threshold=%d: DR diverged", threshold)
+		}
+		d1, err1 := Diagnose(tr, pol)
+		d2, err2 := DiagnoseCtx(ctx, tr, pol)
+		if err1 != nil || err2 != nil || d1 != d2 {
+			t.Fatalf("threshold=%d: Diagnose diverged", threshold)
+		}
+		ParallelThreshold = old
+	}
+}
+
+// TestEstimatorCtxCancelled: a cancelled context fails every ctx-aware
+// entry point with context.Canceled, on both scheduling paths.
+func TestEstimatorCtxCancelled(t *testing.T) {
+	tr, pol := ctxTestTrace(600)
+	model := FitTable(tr, func(c float64, d int) string {
+		return string(rune('0' + d))
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, threshold := range []int{1, 100000} {
+		old := ParallelThreshold
+		ParallelThreshold = threshold
+		if _, err := DirectMethodCtx(ctx, tr, pol, model); !errors.Is(err, context.Canceled) {
+			t.Fatalf("threshold=%d: DM: %v", threshold, err)
+		}
+		if _, err := IPSCtx(ctx, tr, pol, IPSOptions{}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("threshold=%d: IPS: %v", threshold, err)
+		}
+		if _, err := DoublyRobustCtx(ctx, tr, pol, model, DROptions{}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("threshold=%d: DR: %v", threshold, err)
+		}
+		if _, err := DiagnoseCtx(ctx, tr, pol); !errors.Is(err, context.Canceled) {
+			t.Fatalf("threshold=%d: Diagnose: %v", threshold, err)
+		}
+		ParallelThreshold = old
+	}
+}
+
+// TestBootstrapSeededStatsCtxMatchesPlain: the ctx-aware bootstrap with
+// a live context returns the identical interval and stats at every
+// worker count.
+func TestBootstrapSeededStatsCtxMatchesPlain(t *testing.T) {
+	tr, pol := ctxTestTrace(300)
+	est := func(t Trace[float64, int]) (Estimate, error) {
+		return IPS(t, pol, IPSOptions{Clip: 10})
+	}
+	wantIv, wantStats, err := BootstrapSeededStats(tr, est, 21, 120, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.SetDefaultWorkers(0)
+	for _, w := range []int{1, 2, 8} {
+		parallel.SetDefaultWorkers(w)
+		iv, stats, err := BootstrapSeededStatsCtx(context.Background(), tr, est, 21, 120, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv != wantIv || stats != wantStats {
+			t.Fatalf("workers=%d: ctx bootstrap diverged: %+v/%+v vs %+v/%+v", w, iv, stats, wantIv, wantStats)
+		}
+	}
+}
+
+// TestBootstrapSeededStatsCtxCancelled: cancellation surfaces as the
+// ctx error, not as a half-built interval.
+func TestBootstrapSeededStatsCtxCancelled(t *testing.T) {
+	tr, pol := ctxTestTrace(300)
+	est := func(t Trace[float64, int]) (Estimate, error) {
+		return IPS(t, pol, IPSOptions{})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	iv, stats, err := BootstrapSeededStatsCtx(ctx, tr, est, 21, 120, 0.95)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if iv != (Interval{}) || stats != (BootstrapStats{}) {
+		t.Fatalf("non-zero results on cancellation: %+v %+v", iv, stats)
+	}
+}
+
+// TestValidateRejectsNaNAndInf pins the hardened trace validation: NaN
+// propensities and infinite rewards must fail, not flow into weights.
+func TestValidateRejectsNaNAndInf(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	good := Record[float64, int]{Context: 1, Decision: 0, Reward: 1, Propensity: 0.5}
+	cases := []struct {
+		name string
+		rec  Record[float64, int]
+	}{
+		{"NaN propensity", Record[float64, int]{Context: 1, Decision: 0, Reward: 1, Propensity: nan}},
+		{"Inf reward", Record[float64, int]{Context: 1, Decision: 0, Reward: inf, Propensity: 0.5}},
+		{"-Inf reward", Record[float64, int]{Context: 1, Decision: 0, Reward: -inf, Propensity: 0.5}},
+	}
+	for _, c := range cases {
+		tr := Trace[float64, int]{good, c.rec}
+		if err := tr.Validate(); err == nil {
+			t.Fatalf("%s passed validation", c.name)
+		}
+	}
+	if err := (Trace[float64, int]{good}).Validate(); err != nil {
+		t.Fatalf("healthy record rejected: %v", err)
+	}
+}

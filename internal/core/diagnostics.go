@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"drnet/internal/mathx"
@@ -43,6 +44,18 @@ func (d Diagnostics) String() string {
 // Diagnose computes overlap diagnostics between the trace's logging
 // policy and a target policy.
 func Diagnose[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D]) (Diagnostics, error) {
+	return DiagnoseCtx(context.Background(), t, newPolicy)
+}
+
+// diagnoseCheckEvery is how many records DiagnoseCtx scans between
+// context checks: frequent enough that cancelling a huge trace's
+// diagnostic pass takes effect promptly, rare enough to be free.
+const diagnoseCheckEvery = 8192
+
+// DiagnoseCtx is Diagnose with cooperative cancellation: the scan
+// checks ctx every few thousand records and returns ctx's error once
+// it has ended. An un-cancelled ctx yields bit-identical diagnostics.
+func DiagnoseCtx[C any, D comparable](ctx context.Context, t Trace[C, D], newPolicy Policy[C, D]) (Diagnostics, error) {
 	if len(t) == 0 {
 		return Diagnostics{}, ErrEmptyTrace
 	}
@@ -53,6 +66,11 @@ func Diagnose[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D]) (Diagn
 	weights := make([]float64, len(t))
 	matches := 0
 	for i, rec := range t {
+		if i%diagnoseCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Diagnostics{}, err
+			}
+		}
 		dist := newPolicy.Distribution(rec.Context)
 		var pNew float64
 		for _, w := range dist {
@@ -164,6 +182,22 @@ func BootstrapSeeded[C any, D comparable](t Trace[C, D], est Estimator[C, D], se
 // The skipped count is as deterministic as the interval: it depends
 // only on (t, est, seed, b), never on the worker count.
 func BootstrapSeededStats[C any, D comparable](t Trace[C, D], est Estimator[C, D], seed int64, b int, level float64) (Interval, BootstrapStats, error) {
+	return BootstrapSeededStatsCtx(context.Background(), t, est, seed, b, level)
+}
+
+// BootstrapSeededCtx is BootstrapSeeded with cooperative cancellation.
+func BootstrapSeededCtx[C any, D comparable](ctx context.Context, t Trace[C, D], est Estimator[C, D], seed int64, b int, level float64) (Interval, error) {
+	iv, _, err := BootstrapSeededStatsCtx(ctx, t, est, seed, b, level)
+	return iv, err
+}
+
+// BootstrapSeededStatsCtx is BootstrapSeededStats with cooperative
+// cancellation: once ctx ends, no new resample is scheduled on the
+// pool, in-flight resamples finish, and ctx's error is returned — this
+// is how an abandoned or deadline-exceeded /evaluate stops burning the
+// remaining bootstrap. An un-cancelled ctx yields a bit-identical
+// interval and stats.
+func BootstrapSeededStatsCtx[C any, D comparable](ctx context.Context, t Trace[C, D], est Estimator[C, D], seed int64, b int, level float64) (Interval, BootstrapStats, error) {
 	if len(t) == 0 {
 		return Interval{}, BootstrapStats{}, ErrEmptyTrace
 	}
@@ -178,7 +212,7 @@ func BootstrapSeededStats[C any, D comparable](t Trace[C, D], est Estimator[C, D
 		err   error
 	}
 	sh := parallel.NewShardedRNG(seed)
-	draws, _ := parallel.Times(b, 0, func(i int) (draw, error) {
+	draws, err := parallel.TimesCtx(ctx, b, 0, func(i int) (draw, error) {
 		rng := sh.Shard(i)
 		resample := make(Trace[C, D], len(t))
 		for j := range resample {
@@ -190,6 +224,9 @@ func BootstrapSeededStats[C any, D comparable](t Trace[C, D], est Estimator[C, D
 		}
 		return draw{value: e.Value}, nil
 	})
+	if err != nil {
+		return Interval{}, BootstrapStats{}, err
+	}
 	stats := BootstrapStats{Resamples: b}
 	values := make([]float64, 0, b)
 	var lastErr error

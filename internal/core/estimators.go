@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,11 +48,19 @@ func summarizeContributions(contrib []float64) Estimate {
 // DM has no variance problems — it uses every record and no importance
 // weights — but inherits every bias of the reward model (§2.2.1).
 func DirectMethod[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D]) (Estimate, error) {
+	return DirectMethodCtx(context.Background(), t, newPolicy, model)
+}
+
+// DirectMethodCtx is DirectMethod with cooperative cancellation: when
+// ctx ends, the per-record pass stops at the next chunk boundary and
+// ctx's error is returned. An un-cancelled ctx yields bit-identical
+// results to DirectMethod.
+func DirectMethodCtx[C any, D comparable](ctx context.Context, t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D]) (Estimate, error) {
 	if len(t) == 0 {
 		return Estimate{}, ErrEmptyTrace
 	}
 	contrib := make([]float64, len(t))
-	err := forEachRecord(len(t), func(lo, hi int) error {
+	err := forEachRecordCtx(ctx, len(t), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			rec := t[i]
 			dist := newPolicy.Distribution(rec.Context)
@@ -96,6 +105,13 @@ type IPSOptions struct {
 // µ_new is, but its variance explodes when the old policy rarely takes
 // decisions the new policy favours (§2.2.2).
 func IPS[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], opts IPSOptions) (Estimate, error) {
+	return IPSCtx(context.Background(), t, newPolicy, opts)
+}
+
+// IPSCtx is IPS with cooperative cancellation, mirroring
+// DirectMethodCtx: ctx's error is returned as soon as the per-record
+// pass observes the cancellation.
+func IPSCtx[C any, D comparable](ctx context.Context, t Trace[C, D], newPolicy Policy[C, D], opts IPSOptions) (Estimate, error) {
 	if len(t) == 0 {
 		return Estimate{}, ErrEmptyTrace
 	}
@@ -104,7 +120,7 @@ func IPS[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], opts IPSOpt
 	}
 	weights := make([]float64, len(t))
 	contrib := make([]float64, len(t))
-	_ = forEachRecord(len(t), func(lo, hi int) error {
+	if err := forEachRecordCtx(ctx, len(t), func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			rec := t[i]
 			w := Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
@@ -115,7 +131,9 @@ func IPS[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], opts IPSOpt
 			contrib[i] = w * rec.Reward
 		}
 		return nil
-	})
+	}); err != nil {
+		return Estimate{}, err
+	}
 	maxW := maxWeight(weights)
 	var est Estimate
 	if opts.SelfNormalize {
@@ -160,6 +178,13 @@ type DROptions struct {
 // accurate ("double robustness"), and its error is bounded by roughly
 // the product of the two ingredient errors ("second-order bias").
 func DoublyRobust[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts DROptions) (Estimate, error) {
+	return DoublyRobustCtx(context.Background(), t, newPolicy, model, opts)
+}
+
+// DoublyRobustCtx is DoublyRobust with cooperative cancellation,
+// mirroring DirectMethodCtx: ctx's error is returned as soon as the
+// per-record pass observes the cancellation.
+func DoublyRobustCtx[C any, D comparable](ctx context.Context, t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts DROptions) (Estimate, error) {
 	if len(t) == 0 {
 		return Estimate{}, ErrEmptyTrace
 	}
@@ -170,7 +195,7 @@ func DoublyRobust[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], mo
 	dmPart := make([]float64, n)
 	weights := make([]float64, n)
 	resid := make([]float64, n)
-	err := forEachRecord(n, func(lo, hi int) error {
+	err := forEachRecordCtx(ctx, n, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			rec := t[i]
 			dist := newPolicy.Distribution(rec.Context)

@@ -1,6 +1,10 @@
 package core
 
-import "drnet/internal/parallel"
+import (
+	"context"
+
+	"drnet/internal/parallel"
+)
 
 // ParallelThreshold is the trace length at or above which the
 // estimators (DirectMethod, IPS, DoublyRobust) compute their per-record
@@ -18,13 +22,23 @@ var ParallelThreshold = 4096
 // uneven policy evaluation costs across workers.
 const estimatorGrain = 2048
 
-// forEachRecord runs fn over [0, n) — sequentially below
+// forEachRecordCtx runs fn over [0, n) — sequentially below
 // ParallelThreshold, chunked on the worker pool at or above it. fn must
 // be index-pure (it writes per-record outputs by index); errors surface
-// exactly as in a sequential scan (lowest record first).
-func forEachRecord(n int, fn func(lo, hi int) error) error {
+// exactly as in a sequential scan (lowest record first). A cancelled
+// ctx stops the parallel path at the next chunk boundary and the
+// sequential path before it starts; an un-cancelled ctx changes
+// nothing.
+func forEachRecordCtx(ctx context.Context, n int, fn func(lo, hi int) error) error {
 	if n < ParallelThreshold {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return fn(0, n)
 	}
-	return parallel.ForEach(n, 0, estimatorGrain, fn)
+	return parallel.ForEachCtx(ctx, n, 0, estimatorGrain, fn)
+}
+
+func forEachRecord(n int, fn func(lo, hi int) error) error {
+	return forEachRecordCtx(context.Background(), n, fn)
 }

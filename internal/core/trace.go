@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Record is one logged interaction: the old policy observed context
@@ -54,11 +55,16 @@ func (t Trace[C, D]) MeanReward() float64 {
 // implicitly; it is exported so trace producers can fail fast.
 func (t Trace[C, D]) Validate() error {
 	for i, rec := range t {
-		if rec.Propensity <= 0 || rec.Propensity > 1 {
+		// The negated comparison also rejects NaN propensities, which
+		// pass a plain range check and poison every weight downstream.
+		if !(rec.Propensity > 0) || rec.Propensity > 1 {
 			return fmt.Errorf("core: record %d has propensity %g, want (0,1]", i, rec.Propensity)
 		}
 		if rec.Reward != rec.Reward { // NaN
 			return fmt.Errorf("core: record %d has NaN reward", i)
+		}
+		if math.IsInf(rec.Reward, 0) {
+			return fmt.Errorf("core: record %d has infinite reward", i)
 		}
 	}
 	return nil

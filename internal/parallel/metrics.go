@@ -1,9 +1,11 @@
 package parallel
 
 import (
+	"fmt"
 	"time"
 
 	"drnet/internal/obs"
+	"drnet/internal/resilience"
 )
 
 // Pool instrumentation on the process-wide obs registry. A "task" is
@@ -18,6 +20,8 @@ var (
 	poolActive      = obs.Default.Gauge("parallel_pool_active_workers")
 	poolQueue       = obs.Default.Gauge("parallel_pool_queue_depth")
 	poolWorkers     = obs.Default.Gauge("parallel_pool_default_workers")
+	poolCancelled   = obs.Default.Counter("parallel_pool_cancelled_chunks_total")
+	poolPanics      = obs.Default.Counter("parallel_pool_panics_total")
 )
 
 func init() {
@@ -26,14 +30,28 @@ func init() {
 	obs.Default.Help("parallel_pool_active_workers", "Worker goroutines currently running pool chunks.")
 	obs.Default.Help("parallel_pool_queue_depth", "Chunks dispatched but not yet claimed by a worker.")
 	obs.Default.Help("parallel_pool_default_workers", "Configured default worker count (SetDefaultWorkers; 0 resolves to GOMAXPROCS).")
+	obs.Default.Help("parallel_pool_cancelled_chunks_total", "Chunks skipped because their dispatch's context was cancelled.")
+	obs.Default.Help("parallel_pool_panics_total", "Panics recovered inside pool tasks and converted to task errors.")
 	poolWorkers.Set(float64(DefaultWorkers()))
 }
 
-// recordTask times fn as one pool task.
-func recordTask(fn func() error) error {
+// recordTask times fn as one pool task. A panic inside the task is
+// recovered and converted into a task error — one request's bug (or an
+// injected chaos panic) must fail that dispatch, not kill the process.
+// The resilience injection point runs inside the recovery scope, so
+// injected panics exercise the same path as real ones.
+func recordTask(fn func() error) (err error) {
 	start := time.Now()
-	err := fn()
-	poolTaskSeconds.Observe(time.Since(start).Seconds())
-	poolTasks.Inc()
-	return err
+	defer func() {
+		if p := recover(); p != nil {
+			poolPanics.Inc()
+			err = fmt.Errorf("parallel: recovered panic in pool task: %v", p)
+		}
+		poolTaskSeconds.Observe(time.Since(start).Seconds())
+		poolTasks.Inc()
+	}()
+	if err := resilience.Inject(resilience.PointPoolTask); err != nil {
+		return err
+	}
+	return fn()
 }

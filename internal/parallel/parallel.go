@@ -17,6 +17,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,22 @@ func resolve(workers int) int {
 // the error a sequential loop would have returned first. Chunks not yet
 // claimed when a failure is observed are skipped.
 func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
+	return ForEachCtx(context.Background(), n, workers, grain, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx ends,
+// no new chunk is claimed — already-running chunks finish (fn is never
+// interrupted mid-chunk), so cancellation takes effect within one task
+// boundary. Chunks skipped because of cancellation are counted in the
+// parallel_pool_cancelled_chunks_total metric.
+//
+// When chunks were skipped due to cancellation and no chunk failed,
+// ForEachCtx returns ctx.Err(). A dispatch whose chunks all completed
+// before the cancellation was observed returns nil: the work is done.
+// Chunk errors take precedence (lowest index first, as in ForEach).
+// A context that is never cancelled leaves results and scheduling
+// bit-identical to ForEach.
+func ForEachCtx(ctx context.Context, n, workers, grain int, fn func(lo, hi int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -84,10 +101,24 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 	if workers > chunks {
 		workers = chunks
 	}
+	if err := ctx.Err(); err != nil {
+		// The whole dispatch was cancelled before any chunk ran.
+		poolCancelled.Add(uint64(chunks))
+		return err
+	}
+	done := ctx.Done()
 	if workers == 1 {
 		// Plain loop: no goroutines, no pool overhead (beyond per-chunk
 		// task accounting, which is two atomics and a clock read).
 		for lo := 0; lo < n; lo += grain {
+			if done != nil {
+				select {
+				case <-done:
+					poolCancelled.Add(uint64((n - lo + grain - 1) / grain))
+					return ctx.Err()
+				default:
+				}
+			}
 			hi := lo + grain
 			if hi > n {
 				hi = n
@@ -103,6 +134,7 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 	var next atomic.Int64
 	var claimed atomic.Int64
 	var failed atomic.Bool
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	poolQueue.Add(float64(chunks))
 	for w := 0; w < workers; w++ {
@@ -112,8 +144,15 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 			poolActive.Inc()
 			defer poolActive.Dec()
 			for {
+				if done != nil && !cancelled.Load() {
+					select {
+					case <-done:
+						cancelled.Store(true)
+					default:
+					}
+				}
 				c := int(next.Add(1)) - 1
-				if c >= chunks || failed.Load() {
+				if c >= chunks || failed.Load() || cancelled.Load() {
 					return
 				}
 				claimed.Add(1)
@@ -131,15 +170,22 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 		}()
 	}
 	wg.Wait()
-	// Chunks abandoned after a failure were counted into the queue
-	// gauge but never claimed; settle the balance.
-	if leftover := int64(chunks) - claimed.Load(); leftover > 0 {
+	// Chunks abandoned after a failure or cancellation were counted into
+	// the queue gauge but never claimed; settle the balance.
+	leftover := int64(chunks) - claimed.Load()
+	if leftover > 0 {
 		poolQueue.Add(-float64(leftover))
+		if cancelled.Load() {
+			poolCancelled.Add(uint64(leftover))
+		}
 	}
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	if cancelled.Load() && leftover > 0 {
+		return ctx.Err()
 	}
 	return nil
 }
@@ -152,8 +198,15 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 // On failure Map returns the error of the lowest-indexed failing item,
 // matching a sequential loop.
 func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), items, workers, fn)
+}
+
+// MapCtx is Map with cooperative cancellation via ForEachCtx: once ctx
+// ends no new item is started, and the call returns ctx.Err() (unless
+// an item error takes precedence).
+func MapCtx[T, R any](ctx context.Context, items []T, workers int, fn func(i int, item T) (R, error)) ([]R, error) {
 	out := make([]R, len(items))
-	err := ForEach(len(items), workers, 1, func(lo, hi int) error {
+	err := ForEachCtx(ctx, len(items), workers, 1, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			r, err := fn(i, items[i])
 			if err != nil {
@@ -173,8 +226,13 @@ func Map[T, R any](items []T, workers int, fn func(i int, item T) (R, error)) ([
 // returns the n results in index order. It is Map without a materialized
 // input slice — the natural shape for "repeat this replication n times".
 func Times[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
+	return TimesCtx(context.Background(), n, workers, fn)
+}
+
+// TimesCtx is Times with cooperative cancellation via ForEachCtx.
+func TimesCtx[R any](ctx context.Context, n, workers int, fn func(i int) (R, error)) ([]R, error) {
 	out := make([]R, n)
-	err := ForEach(n, workers, 1, func(lo, hi int) error {
+	err := ForEachCtx(ctx, n, workers, 1, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			r, err := fn(i)
 			if err != nil {
@@ -196,7 +254,14 @@ func Times[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
 // floating-point accumulation is never reassociated and the result is
 // bit-identical at every worker count.
 func MapReduce[T, R any](items []T, workers int, mapFn func(i int, item T) (R, error), init R, reduce func(acc, next R) R) (R, error) {
-	mapped, err := Map(items, workers, mapFn)
+	return MapReduceCtx(context.Background(), items, workers, mapFn, init, reduce)
+}
+
+// MapReduceCtx is MapReduce with cooperative cancellation via MapCtx:
+// once ctx ends no new item is mapped and the zero value is returned
+// with ctx.Err(); the fold only runs over a fully mapped slice.
+func MapReduceCtx[T, R any](ctx context.Context, items []T, workers int, mapFn func(i int, item T) (R, error), init R, reduce func(acc, next R) R) (R, error) {
+	mapped, err := MapCtx(ctx, items, workers, mapFn)
 	if err != nil {
 		var zero R
 		return zero, err

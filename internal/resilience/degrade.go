@@ -1,0 +1,74 @@
+package resilience
+
+import "fmt"
+
+// Degradation reason codes, machine-readable so clients can branch on
+// them without parsing prose.
+const (
+	ReasonESSRatio    = "ess_ratio_below_floor"
+	ReasonMaxWeight   = "max_weight_above_ceiling"
+	ReasonZeroSupport = "zero_support_above_cap"
+)
+
+// Reason is one triggered degradation threshold: what was observed,
+// what the limit was, and a human-readable detail line. All fields are
+// pure functions of the diagnostics, so responses carrying Reasons stay
+// bit-deterministic.
+type Reason struct {
+	Code      string  `json:"code"`
+	Observed  float64 `json:"observed"`
+	Threshold float64 `json:"threshold"`
+	Detail    string  `json:"detail"`
+}
+
+// Thresholds configure when an off-policy estimate must be flagged
+// degraded — the paper's §4.1 regimes (collapsing effective sample
+// size, exploding weight tails, vanishing support) made into explicit
+// service policy. A zero value disables the corresponding check.
+type Thresholds struct {
+	// ESSRatioFloor flags the estimate when ESS/N falls below it:
+	// a few heavily-weighted records dominate the average.
+	ESSRatioFloor float64
+	// MaxWeightCeiling flags the estimate when any importance weight
+	// exceeds it: one record can move the estimate by weight/n.
+	MaxWeightCeiling float64
+	// ZeroSupportCap flags the estimate when the fraction of records
+	// with zero probability under the new policy exceeds it: those
+	// records contribute nothing to IPS/DR corrections.
+	ZeroSupportCap float64
+}
+
+// DefaultThresholds are conservative serving defaults: degrade when
+// fewer than 10% of the records carry the estimate, when a single
+// weight tops 100, or when over half the trace has no support.
+func DefaultThresholds() Thresholds {
+	return Thresholds{ESSRatioFloor: 0.1, MaxWeightCeiling: 100, ZeroSupportCap: 0.5}
+}
+
+// Check evaluates the thresholds against one request's diagnostics and
+// returns the triggered reasons, nil when the estimate is healthy.
+func (t Thresholds) Check(n int, ess, maxWeight float64, zeroSupport int) []Reason {
+	if n <= 0 {
+		return nil
+	}
+	var out []Reason
+	if ratio := ess / float64(n); t.ESSRatioFloor > 0 && ratio < t.ESSRatioFloor {
+		out = append(out, Reason{
+			Code: ReasonESSRatio, Observed: ratio, Threshold: t.ESSRatioFloor,
+			Detail: fmt.Sprintf("effective sample size %.1f is %.4f of n=%d, below the %g floor", ess, ratio, n, t.ESSRatioFloor),
+		})
+	}
+	if t.MaxWeightCeiling > 0 && maxWeight > t.MaxWeightCeiling {
+		out = append(out, Reason{
+			Code: ReasonMaxWeight, Observed: maxWeight, Threshold: t.MaxWeightCeiling,
+			Detail: fmt.Sprintf("largest importance weight %.4g exceeds the %g ceiling", maxWeight, t.MaxWeightCeiling),
+		})
+	}
+	if frac := float64(zeroSupport) / float64(n); t.ZeroSupportCap > 0 && frac > t.ZeroSupportCap {
+		out = append(out, Reason{
+			Code: ReasonZeroSupport, Observed: frac, Threshold: t.ZeroSupportCap,
+			Detail: fmt.Sprintf("%d of %d records (%.4f) have zero support under the new policy, above the %g cap", zeroSupport, n, frac, t.ZeroSupportCap),
+		})
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func codes(rs []Reason) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.Code
+	}
+	return out
+}
+
+func TestCheckHealthy(t *testing.T) {
+	th := DefaultThresholds()
+	if rs := th.Check(1000, 500, 3, 10); rs != nil {
+		t.Fatalf("healthy diagnostics degraded: %+v", rs)
+	}
+}
+
+func TestCheckEachThreshold(t *testing.T) {
+	th := Thresholds{ESSRatioFloor: 0.1, MaxWeightCeiling: 100, ZeroSupportCap: 0.5}
+	cases := []struct {
+		name        string
+		n           int
+		ess, maxW   float64
+		zeroSupport int
+		want        []string
+	}{
+		{"ess floor", 1000, 50, 3, 0, []string{ReasonESSRatio}},
+		{"weight ceiling", 1000, 500, 250, 0, []string{ReasonMaxWeight}},
+		{"zero support", 1000, 500, 3, 600, []string{ReasonZeroSupport}},
+		{"all three", 1000, 50, 250, 600, []string{ReasonESSRatio, ReasonMaxWeight, ReasonZeroSupport}},
+		{"boundary not crossed", 1000, 100, 100, 500, nil},
+	}
+	for _, c := range cases {
+		got := codes(th.Check(c.n, c.ess, c.maxW, c.zeroSupport))
+		if len(got) == 0 {
+			got = nil
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCheckZeroDisables(t *testing.T) {
+	if rs := (Thresholds{}).Check(1000, 1, 1e9, 1000); rs != nil {
+		t.Fatalf("zero thresholds still degraded: %+v", rs)
+	}
+	if rs := (Thresholds{}).Check(0, 0, 0, 0); rs != nil {
+		t.Fatalf("n=0 degraded: %+v", rs)
+	}
+}
+
+func TestReasonJSONShape(t *testing.T) {
+	rs := DefaultThresholds().Check(100, 2, 300, 80)
+	if len(rs) != 3 {
+		t.Fatalf("want 3 reasons, got %d", len(rs))
+	}
+	b, err := json.Marshal(rs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"code"`, `"observed"`, `"threshold"`, `"detail"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("reason JSON missing %s: %s", key, b)
+		}
+	}
+	// Detail strings are pure functions of the inputs: two checks on the
+	// same diagnostics serialize identically (bit-determinism contract).
+	b2, _ := json.Marshal(DefaultThresholds().Check(100, 2, 300, 80))
+	b1, _ := json.Marshal(rs)
+	if string(b1) != string(b2) {
+		t.Fatal("Check is not deterministic")
+	}
+}

@@ -1,0 +1,128 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// outcomes replays n hits at a point and records each one: "ok", "err"
+// or "panic".
+func outcomes(point string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = func() (res string) {
+			defer func() {
+				if recover() != nil {
+					res = "panic"
+				}
+			}()
+			if err := Inject(point); err != nil {
+				return "err"
+			}
+			return "ok"
+		}()
+	}
+	return out
+}
+
+func TestInjectNoopWithoutPlan(t *testing.T) {
+	Deactivate()
+	for i := 0; i < 100; i++ {
+		if err := Inject(PointPoolTask); err != nil {
+			t.Fatalf("hit %d: %v with no active plan", i, err)
+		}
+	}
+}
+
+func TestInjectUnknownPointIsNoop(t *testing.T) {
+	Activate(NewFaultPlan(1).Add(PointTraceRead, FaultSpec{ErrProb: 1}))
+	defer Deactivate()
+	if err := Inject("some.other.point"); err != nil {
+		t.Fatalf("unknown point injected: %v", err)
+	}
+}
+
+// TestFaultPlanDeterministic: two plans with the same seed and spec
+// produce the identical outcome sequence, and a different seed produces
+// a different one (for this spec and length).
+func TestFaultPlanDeterministic(t *testing.T) {
+	spec := FaultSpec{ErrProb: 0.3, PanicProb: 0.1}
+	const n = 200
+	run := func(seed int64) []string {
+		Activate(NewFaultPlan(seed).Add(PointPoolTask, spec))
+		defer Deactivate()
+		return outcomes(PointPoolTask, n)
+	}
+	a, b, c := run(42), run(42), run(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d: %q vs %q under the same seed", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-hit sequences")
+	}
+	counts := map[string]int{}
+	for _, o := range a {
+		counts[o]++
+	}
+	// With 200 hits at 30%/10% the counts should be in the right regime.
+	if counts["err"] < 30 || counts["err"] > 90 {
+		t.Fatalf("err count %d implausible for p=0.3", counts["err"])
+	}
+	if counts["panic"] < 5 || counts["panic"] > 40 {
+		t.Fatalf("panic count %d implausible for p=0.1", counts["panic"])
+	}
+}
+
+func TestInjectedErrorIsSentinel(t *testing.T) {
+	Activate(NewFaultPlan(7).Add(PointTraceRead, FaultSpec{ErrProb: 1}))
+	defer Deactivate()
+	err := Inject(PointTraceRead)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+}
+
+func TestFaultPlanCounters(t *testing.T) {
+	p := NewFaultPlan(3).Add(PointPoolTask, FaultSpec{ErrProb: 1})
+	Activate(p)
+	defer Deactivate()
+	for i := 0; i < 10; i++ {
+		_ = Inject(PointPoolTask)
+	}
+	if p.Hits(PointPoolTask) != 10 || p.Fired(PointPoolTask) != 10 {
+		t.Fatalf("hits=%d fired=%d, want 10/10", p.Hits(PointPoolTask), p.Fired(PointPoolTask))
+	}
+	if p.Hits("unknown") != 0 || p.Fired("unknown") != 0 {
+		t.Fatal("unknown point reported nonzero counters")
+	}
+}
+
+// TestLatencyDrawIndependent: enabling latency must not change which
+// hits error — the latency draw uses its own stream.
+func TestLatencyDrawIndependent(t *testing.T) {
+	spec := FaultSpec{ErrProb: 0.4}
+	withLatency := spec
+	withLatency.LatencyProb = 1
+	withLatency.Latency = time.Microsecond
+	const n = 100
+	Activate(NewFaultPlan(9).Add(PointTraceRead, spec))
+	plain := outcomes(PointTraceRead, n)
+	Activate(NewFaultPlan(9).Add(PointTraceRead, withLatency))
+	delayed := outcomes(PointTraceRead, n)
+	Deactivate()
+	for i := range plain {
+		if plain[i] != delayed[i] {
+			t.Fatalf("hit %d: latency changed outcome %q → %q", i, plain[i], delayed[i])
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"drnet/internal/resilience"
+)
+
+func faultTestTrace() FlatTrace {
+	return FlatTrace{Records: []FlatRecord{
+		{Features: []float64{1, 2}, Decision: "a", Reward: 0.5, Propensity: 0.4},
+		{Features: []float64{3, 4}, Decision: "b", Reward: 1.5, Propensity: 0.6},
+	}}
+}
+
+// TestReadersInjectFaults: with an always-error plan active at the
+// trace-read point, both readers fail with the injected sentinel; after
+// Deactivate they parse the same bytes successfully. This is the
+// contract the chaos suite relies on to simulate flaky trace storage.
+func TestReadersInjectFaults(t *testing.T) {
+	var csvBuf, jsonlBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, faultTestTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&jsonlBuf, faultTestTrace()); err != nil {
+		t.Fatal(err)
+	}
+
+	plan := resilience.NewFaultPlan(7).
+		Add(resilience.PointTraceRead, resilience.FaultSpec{ErrProb: 1})
+	resilience.Activate(plan)
+	if _, err := ReadCSV(strings.NewReader(csvBuf.String())); !errors.Is(err, resilience.ErrInjected) {
+		resilience.Deactivate()
+		t.Fatalf("ReadCSV under fault plan: %v, want ErrInjected", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader(jsonlBuf.String())); !errors.Is(err, resilience.ErrInjected) {
+		resilience.Deactivate()
+		t.Fatalf("ReadJSONL under fault plan: %v, want ErrInjected", err)
+	}
+	if got := plan.Hits(resilience.PointTraceRead); got != 2 {
+		resilience.Deactivate()
+		t.Fatalf("trace-read point hits = %d, want 2", got)
+	}
+	resilience.Deactivate()
+
+	ft, err := ReadCSV(strings.NewReader(csvBuf.String()))
+	if err != nil || len(ft.Records) != 2 {
+		t.Fatalf("ReadCSV after Deactivate: %v (records=%d)", err, len(ft.Records))
+	}
+	ft, err = ReadJSONL(strings.NewReader(jsonlBuf.String()))
+	if err != nil || len(ft.Records) != 2 {
+		t.Fatalf("ReadJSONL after Deactivate: %v (records=%d)", err, len(ft.Records))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"drnet/internal/core"
+	"drnet/internal/resilience"
 )
 
 // FlatRecord is the serialized form of one trace record.
@@ -114,6 +115,9 @@ func WriteCSV(w io.Writer, ft FlatTrace) error {
 
 // ReadCSV parses a trace written by WriteCSV.
 func ReadCSV(r io.Reader) (FlatTrace, error) {
+	if err := resilience.Inject(resilience.PointTraceRead); err != nil {
+		return FlatTrace{}, fmt.Errorf("traceio: read: %w", err)
+	}
 	cr := csv.NewReader(r)
 	header, err := cr.Read()
 	if err != nil {
@@ -171,6 +175,9 @@ func WriteJSONL(w io.Writer, ft FlatTrace) error {
 
 // ReadJSONL parses a JSON-lines trace.
 func ReadJSONL(r io.Reader) (FlatTrace, error) {
+	if err := resilience.Inject(resilience.PointTraceRead); err != nil {
+		return FlatTrace{}, fmt.Errorf("traceio: read: %w", err)
+	}
 	dec := json.NewDecoder(r)
 	var ft FlatTrace
 	for {

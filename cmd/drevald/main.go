@@ -10,8 +10,10 @@
 //	POST /evaluate    {trace, policy, options} → DM/IPS/DR estimates,
 //	                  diagnostics and an optional bootstrap CI
 //	GET  /metrics     Prometheus text exposition (request, estimator
-//	                  regime and worker-pool metrics)
+//	                  regime, Go runtime and worker-pool metrics)
 //	GET  /debug/vars  JSON metric snapshot + process vitals
+//	GET  /debug/traces?n=10  the n slowest recent requests as
+//	                  parent→child span timelines (JSON)
 //
 // With -debug-addr set, a second listener additionally serves
 // net/http/pprof under /debug/pprof/ (plus /metrics and /debug/vars),
@@ -35,6 +37,14 @@
 // Usage:
 //
 //	drevald [-addr :8080] [-workers 0] [-debug-addr ""] [-log-level info]
+//	        [-trace-out spans.jsonl] [-trace-buffer 512]
+//
+// Compute requests (/evaluate, /diagnose) are traced: the root span's
+// trace ID is the request's X-Request-Id and each evaluation phase
+// (diagnose, model fit, DM/IPS/DR, bootstrap) is a child span. The
+// most recent -trace-buffer completed spans are queryable via
+// /debug/traces; -trace-out additionally appends every completed span
+// to a JSONL file.
 //
 // Requests are served concurrently by net/http; within each request the
 // bootstrap resamples run on a shared worker pool -workers wide (0 =
@@ -80,6 +90,8 @@ func main() {
 	weightCeiling := flag.Float64("max-weight-ceiling", degradeThresholds.MaxWeightCeiling, "degrade /evaluate responses when the largest importance weight exceeds this (0 = disabled)")
 	zeroCap := flag.Float64("zero-support-cap", degradeThresholds.ZeroSupportCap, "degrade /evaluate responses when the zero-support record fraction exceeds this (0 = disabled)")
 	fbClip := flag.Float64("fallback-clip", fallbackClip, "importance-weight clip of the degraded-mode fallback estimator (must be > 0)")
+	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line (JSONL) to this file (empty = disabled)")
+	traceBuffer := flag.Int("trace-buffer", traceRecorder.Capacity(), "completed spans kept in memory for /debug/traces (must be >= 1)")
 	flag.Parse()
 	if *drain <= 0 {
 		log.Fatalf("drevald: -drain-timeout must be > 0, got %v", *drain)
@@ -108,6 +120,21 @@ func main() {
 		ZeroSupportCap:   *zeroCap,
 	}
 	fallbackClip = *fbClip
+	if *traceBuffer < 1 {
+		log.Fatalf("drevald: -trace-buffer must be >= 1, got %d", *traceBuffer)
+	}
+	if *traceBuffer != traceRecorder.Capacity() {
+		traceRecorder = obs.NewTraceRecorder(*traceBuffer)
+		obs.Default.SetTraceRecorder(traceRecorder)
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("drevald: -trace-out: %v", err)
+		}
+		defer f.Close()
+		traceRecorder.SetSink(func(line []byte) { _, _ = f.Write(line) })
+	}
 	parallel.SetDefaultWorkers(*workers)
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -222,6 +249,7 @@ func newMux() *http.ServeMux {
 	mux.Handle("POST /evaluate", instrument("/evaluate", limited("/evaluate", handleEvaluate)))
 	mux.Handle("GET /metrics", instrument("/metrics", handleMetrics))
 	mux.Handle("GET /debug/vars", instrument("/debug/vars", handleVars))
+	mux.Handle("GET /debug/traces", instrument("/debug/traces", handleTraces))
 	return mux
 }
 
@@ -441,6 +469,21 @@ type evalErrorJSON struct {
 	Canceled bool   `json:"canceled,omitempty"`
 }
 
+// timed runs one evaluation phase as a named child span of the
+// request's root span (started by the instrument middleware), marking
+// the span failed when the phase errors. With no root span in the
+// context, StartChild degrades to a fresh root, so the phase is still
+// measured.
+func timed[T any](parent *obs.Span, name string, fn func() (T, error)) (T, error) {
+	sp := parent.StartChild(name)
+	v, err := fn()
+	if err != nil {
+		sp.SetError(err.Error())
+	}
+	sp.End()
+	return v, err
+}
+
 func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	_, trace, policy, ok := decodeRequest(w, r)
 	if !ok {
@@ -448,7 +491,9 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := requestCtx(r)
 	defer cancel()
-	diag, err := core.DiagnoseCtx(ctx, trace, policy)
+	diag, err := timed(obs.SpanFromContext(r.Context()), "diagnose", func() (core.Diagnostics, error) {
+		return core.DiagnoseCtx(ctx, trace, policy)
+	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
@@ -463,7 +508,10 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := requestCtx(r)
 	defer cancel()
-	diag, err := core.DiagnoseCtx(ctx, trace, policy)
+	root := obs.SpanFromContext(r.Context())
+	diag, err := timed(root, "diagnose", func() (core.Diagnostics, error) {
+		return core.DiagnoseCtx(ctx, trace, policy)
+	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
@@ -478,20 +526,28 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			"n", diag.N, "essRatio", diag.ESS/float64(diag.N),
 			"maxWeight", diag.MaxWeight, "zeroSupport", diag.ZeroSupport)
 	}
+	spFit := root.StartChild("fit_model")
 	model := core.FitTable(trace, func(c traceio.FlatContext, d string) string {
 		return c.Key() + "|" + d
 	})
-	dm, err := core.DirectMethodCtx(ctx, trace, policy, model)
+	spFit.End()
+	dm, err := timed(root, "direct_method", func() (core.Estimate, error) {
+		return core.DirectMethodCtx(ctx, trace, policy, model)
+	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
-	ips, err := core.IPSCtx(ctx, trace, policy, core.IPSOptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+	ips, err := timed(root, "ips", func() (core.Estimate, error) {
+		return core.IPSCtx(ctx, trace, policy, core.IPSOptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
-	dr, err := core.DoublyRobustCtx(ctx, trace, policy, model, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+	dr, err := timed(root, "doubly_robust", func() (core.Estimate, error) {
+		return core.DoublyRobustCtx(ctx, trace, policy, model, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
@@ -502,7 +558,15 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// estimate, but is tagged degraded with machine-readable reasons
 	// and a variance-robust fallback — never a bare error.
 	if reasons := degradeThresholds.Check(diag.N, diag.ESS, diag.MaxWeight, diag.ZeroSupport); len(reasons) > 0 {
-		fb, err := core.IPSCtx(ctx, trace, policy, core.IPSOptions{Clip: fallbackClip, SelfNormalize: true})
+		// The degraded path is an error from the observability side even
+		// though the response is a 200: mark the request's root span so
+		// obs_span_errors_total{span="http/evaluate"} and the timeline
+		// surface it.
+		root.Attr("degraded", "true")
+		root.SetError("degraded: overlap diagnostics crossed thresholds")
+		fb, err := timed(root, "fallback", func() (core.Estimate, error) {
+			return core.IPSCtx(ctx, trace, policy, core.IPSOptions{Clip: fallbackClip, SelfNormalize: true})
+		})
 		if err != nil {
 			writeEvalError(w, err)
 			return
@@ -520,11 +584,15 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		// Sharded bootstrap: resamples run on the worker pool, one PCG
 		// stream per resample, so the interval depends only on the seed.
-		sp := obs.StartSpan("drevald_bootstrap")
+		sp := root.StartChild("drevald_bootstrap").
+			Attr("resamples", fmt.Sprint(b))
 		ci, stats, err := core.BootstrapSeededStatsCtx(ctx, trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
 			m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
 			return core.DoublyRobust(t, policy, m, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 		}, seed, b, 0.95)
+		if err != nil {
+			sp.SetError(err.Error())
+		}
 		sp.End()
 		bootResamples.Add(uint64(stats.Resamples))
 		bootSkipped.Add(uint64(stats.Skipped))

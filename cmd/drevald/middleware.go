@@ -50,7 +50,27 @@ var (
 	canceledTotal = obs.Default.Counter("drevald_request_canceled_total")
 )
 
+// traceRecorder buffers the most recent completed spans for
+// /debug/traces and the optional -trace-out JSONL export. 512 spans ≈
+// a few hundred requests of history at a handful of spans each; memory
+// is bounded by construction (the ring overwrites). -trace-buffer
+// resizes it at startup.
+var traceRecorder = obs.NewTraceRecorder(512)
+
+// tracedRoutes marks the routes that get a root span per request. Only
+// the compute routes are traced: scrapes of /metrics, /healthz and
+// /debug/vars would otherwise flood the ring with sub-millisecond
+// timelines and evict the requests worth debugging.
+var tracedRoutes = map[string]bool{
+	"/evaluate": true,
+	"/diagnose": true,
+}
+
 func init() {
+	obs.Default.SetTraceRecorder(traceRecorder)
+	obs.RegisterRuntimeMetrics(obs.Default)
+	obs.Default.Help("obs_span_seconds", "Span durations by span name; bucket exemplars carry the trace ID.")
+	obs.Default.Help("obs_span_errors_total", "Spans ended in error state, by span name.")
 	obs.Default.Help("drevald_http_requests_total", "HTTP requests served, by route and status class.")
 	obs.Default.Help("drevald_http_request_seconds", "HTTP request latency, by route.")
 	obs.Default.Help("drevald_http_in_flight", "Requests currently being served, by route.")
@@ -135,6 +155,18 @@ func instrument(route string, h http.HandlerFunc) http.Handler {
 		w.Header().Set("X-Request-Id", id)
 		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 
+		// Compute routes get a root span whose trace ID is the request
+		// ID, so /debug/traces timelines, histogram exemplars and access
+		// logs all correlate on the same key. Handlers reach it through
+		// the request context to hang child spans off each phase.
+		var span *obs.Span
+		if tracedRoutes[route] {
+			span = obs.Default.StartSpanWithID("http"+route, id).
+				Attr("route", route).
+				Attr("method", r.Method)
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), span))
+		}
+
 		inFlight.Inc()
 		defer inFlight.Dec()
 		start := time.Now()
@@ -167,6 +199,13 @@ func instrument(route string, h http.HandlerFunc) http.Handler {
 		}()
 		dur := time.Since(start)
 
+		if span != nil {
+			span.Attr("status", fmt.Sprint(rec.status))
+			if rec.status >= 500 {
+				span.SetError(fmt.Sprintf("status %d", rec.status))
+			}
+			span.End()
+		}
 		latency.Observe(dur.Seconds())
 		byClass[statusClass(rec.status)].Inc()
 		srvLog.Info("request",
@@ -227,10 +266,19 @@ func handleVars(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleTraces serves the slowest recently-completed request timelines
+// as JSON: GET /debug/traces?n=10 returns the n slowest traces in the
+// ring, each a parent→child span tree with offsets, durations,
+// attributes and error state.
+func handleTraces(w http.ResponseWriter, r *http.Request) {
+	traceRecorder.Handler().ServeHTTP(w, r)
+}
+
 // newDebugMux builds the opt-in debug listener's mux: pprof, plus
-// /metrics and /debug/vars so a scraper pointed at the debug port sees
-// everything. Served on a separate address (-debug-addr) so profiling
-// endpoints are never exposed on the service port.
+// /metrics, /debug/vars and /debug/traces so a scraper pointed at the
+// debug port sees everything. Served on a separate address
+// (-debug-addr) so profiling endpoints are never exposed on the
+// service port.
 func newDebugMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -240,6 +288,7 @@ func newDebugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /debug/vars", handleVars)
+	mux.HandleFunc("GET /debug/traces", handleTraces)
 	return mux
 }
 

@@ -13,10 +13,12 @@
 // -workers 1.
 //
 // After the run a JSON manifest is written to -manifest ("" disables)
-// recording the seed, worker count, per-experiment wall times and the
-// binary's version, so a results table can always be traced back to
-// the exact configuration that produced it. Phase timings are also
-// logged to stderr as structured key=value lines.
+// recording the seed, worker count, per-experiment wall times and
+// memory footprint (sampled peak heap, GC cycles, allocations — see
+// manifestEntry for the -parallel caveat) and the binary's version, so
+// a results table can always be traced back to the exact configuration
+// that produced it. Phase timings are also logged to stderr as
+// structured key=value lines.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -72,10 +75,67 @@ func main() {
 	}
 }
 
-// manifestEntry records one experiment's wall time.
+// manifestEntry records one experiment's wall time and memory
+// footprint, measured as runtime.MemStats deltas across the
+// experiment. MemStats is process-wide, so with -parallel > 1 the
+// memory fields attribute everything the process did during the
+// experiment's window — concurrent experiments inflate each other's
+// numbers. Run with -parallel 1 when the footprint matters.
 type manifestEntry struct {
 	ID          string  `json:"id"`
 	WallSeconds float64 `json:"wallSeconds"`
+	// PeakHeapBytes is the largest live-heap size observed while the
+	// experiment ran (sampled, so short spikes can be missed).
+	PeakHeapBytes uint64 `json:"peakHeapBytes"`
+	// GCCycles is how many collections completed during the experiment.
+	GCCycles uint32 `json:"gcCycles"`
+	// Allocs is the number of heap objects allocated during the
+	// experiment.
+	Allocs uint64 `json:"allocs"`
+}
+
+// memWatch measures one experiment's memory footprint: MemStats deltas
+// plus a periodically-sampled live-heap peak.
+type memWatch struct {
+	stop   chan struct{}
+	done   chan struct{}
+	before runtime.MemStats
+	peak   uint64
+}
+
+func startMemWatch() *memWatch {
+	w := &memWatch{stop: make(chan struct{}), done: make(chan struct{})}
+	runtime.ReadMemStats(&w.before)
+	w.peak = w.before.HeapAlloc
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > w.peak {
+					w.peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return w
+}
+
+func (w *memWatch) end() (peakHeap uint64, gcCycles uint32, allocs uint64) {
+	close(w.stop)
+	<-w.done
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > w.peak {
+		w.peak = after.HeapAlloc
+	}
+	return w.peak, after.NumGC - w.before.NumGC, after.Mallocs - w.before.Mallocs
 }
 
 // runManifest ties a results table to the configuration that produced
@@ -173,10 +233,13 @@ func runAll(ctx context.Context, w io.Writer, which string, runs int, seed int64
 		StartedAt: time.Now().UTC(),
 	}
 	type outcome struct {
-		res     experiments.Result
-		err     error
-		seconds float64
-		skipped bool
+		res      experiments.Result
+		err      error
+		seconds  float64
+		peakHeap uint64
+		gcCycles uint32
+		allocs   uint64
+		skipped  bool
 	}
 	start := time.Now()
 	results := make([]outcome, len(jobs))
@@ -201,10 +264,15 @@ func runAll(ctx context.Context, w io.Writer, which string, runs int, seed int64
 				return
 			}
 			expLog.Info("experiment start", "id", j.id, "runs", runs, "seed", seed)
+			mw := startMemWatch()
 			sp := obs.StartSpan(j.id)
 			res, err := j.fn(runs, seed)
 			d := sp.End()
-			results[i] = outcome{res: res, err: err, seconds: d.Seconds()}
+			peakHeap, gcCycles, allocs := mw.end()
+			results[i] = outcome{
+				res: res, err: err, seconds: d.Seconds(),
+				peakHeap: peakHeap, gcCycles: gcCycles, allocs: allocs,
+			}
 			if err != nil {
 				expLog.Error("experiment failed", "id", j.id, "seconds", d.Seconds(), "err", err)
 				return
@@ -223,7 +291,10 @@ func runAll(ctx context.Context, w io.Writer, which string, runs int, seed int64
 		if out.err != nil {
 			return nil, fmt.Errorf("%s: %w", jobs[i].id, out.err)
 		}
-		m.Experiments = append(m.Experiments, manifestEntry{ID: jobs[i].id, WallSeconds: out.seconds})
+		m.Experiments = append(m.Experiments, manifestEntry{
+			ID: jobs[i].id, WallSeconds: out.seconds,
+			PeakHeapBytes: out.peakHeap, GCCycles: out.gcCycles, Allocs: out.allocs,
+		})
 		fmt.Fprintln(w, out.res.Render())
 	}
 	if skipped > 0 {

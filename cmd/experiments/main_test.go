@@ -84,6 +84,14 @@ func TestRunManifest(t *testing.T) {
 		if e.WallSeconds <= 0 {
 			t.Fatalf("experiment %s has no wall time", e.ID)
 		}
+		// The memory fields come from MemStats deltas: every experiment
+		// allocates, and the heap is never empty while one runs.
+		if e.PeakHeapBytes == 0 {
+			t.Fatalf("experiment %s has zero peak heap", e.ID)
+		}
+		if e.Allocs == 0 {
+			t.Fatalf("experiment %s recorded zero allocations", e.ID)
+		}
 	}
 	if m.WallSeconds < m.Experiments[0].WallSeconds && m.Parallel == 1 {
 		t.Fatalf("total wall %g below a phase's", m.WallSeconds)

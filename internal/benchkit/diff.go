@@ -1,0 +1,125 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Thresholds are the per-metric regression limits Diff applies, each a
+// fractional change relative to the baseline (0.30 = 30%). They are
+// deliberately loose: the harness runs on shared, noisy machines, and
+// the trajectory exists to catch order-of-magnitude drifts, not 3%
+// jitter.
+type Thresholds struct {
+	// MaxThroughputDrop flags cells whose ops/s fell by more than this
+	// fraction.
+	MaxThroughputDrop float64 `json:"maxThroughputDrop"`
+	// MaxLatencyGrowth flags cells whose p95 grew by more than this
+	// fraction.
+	MaxLatencyGrowth float64 `json:"maxLatencyGrowth"`
+	// MaxAllocGrowth flags cells whose allocs/op grew by more than this
+	// fraction. Allocation counts are nearly noise-free, so this is the
+	// tightest signal of the three.
+	MaxAllocGrowth float64 `json:"maxAllocGrowth"`
+}
+
+// DefaultThresholds returns the limits used when none are configured.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MaxThroughputDrop: 0.40,
+		MaxLatencyGrowth:  0.60,
+		MaxAllocGrowth:    0.25,
+	}
+}
+
+// Regression is one threshold violation found by Diff.
+type Regression struct {
+	// CellKey identifies the workload cell ("dr/n=10000/w=8").
+	CellKey string `json:"cell"`
+	// Metric names what regressed ("opsPerSec", "p95Ms", "allocsPerOp").
+	Metric string `json:"metric"`
+	// Baseline and Current are the two values; ChangeFrac the relative
+	// change (positive = worse).
+	Baseline   float64 `json:"baseline"`
+	Current    float64 `json:"current"`
+	ChangeFrac float64 `json:"changeFrac"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: baseline %.4g → current %.4g (%+.0f%%)",
+		r.CellKey, r.Metric, r.Baseline, r.Current, r.ChangeFrac*100)
+}
+
+// Diff compares current against baseline cell by cell and returns every
+// threshold violation. Cells present in only one report are skipped —
+// adding a workload must not fail the first run that has it. A nil
+// baseline yields no regressions.
+func Diff(current, baseline *Report, th Thresholds) []Regression {
+	if current == nil || baseline == nil {
+		return nil
+	}
+	var out []Regression
+	for _, cur := range current.Cells {
+		base := baseline.FindCell(cur.Key())
+		if base == nil {
+			continue
+		}
+		if th.MaxThroughputDrop > 0 && base.OpsPerSec > 0 {
+			drop := (base.OpsPerSec - cur.OpsPerSec) / base.OpsPerSec
+			if drop > th.MaxThroughputDrop {
+				out = append(out, Regression{
+					CellKey: cur.Key(), Metric: "opsPerSec",
+					Baseline: base.OpsPerSec, Current: cur.OpsPerSec, ChangeFrac: drop,
+				})
+			}
+		}
+		if th.MaxLatencyGrowth > 0 && base.P95Ms > 0 {
+			growth := (cur.P95Ms - base.P95Ms) / base.P95Ms
+			if growth > th.MaxLatencyGrowth {
+				out = append(out, Regression{
+					CellKey: cur.Key(), Metric: "p95Ms",
+					Baseline: base.P95Ms, Current: cur.P95Ms, ChangeFrac: growth,
+				})
+			}
+		}
+		if th.MaxAllocGrowth > 0 && base.AllocsPerOp > 0 {
+			growth := (cur.AllocsPerOp - base.AllocsPerOp) / base.AllocsPerOp
+			if growth > th.MaxAllocGrowth {
+				out = append(out, Regression{
+					CellKey: cur.Key(), Metric: "allocsPerOp",
+					Baseline: base.AllocsPerOp, Current: cur.AllocsPerOp, ChangeFrac: growth,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WriteReport marshals rep (indented, trailing newline) to path.
+func WriteReport(path string, rep *Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadReport loads a report written by WriteReport and rejects unknown
+// schema versions, so trajectory tooling fails loudly instead of
+// comparing incomparable layouts.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("benchkit: parsing %s: %w", path, err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchkit: %s has schema version %d, this binary understands %d",
+			path, rep.SchemaVersion, SchemaVersion)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,138 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTPConfig describes the loadgen leg: POST /evaluate requests against
+// a live drevald.
+type HTTPConfig struct {
+	// URL is the server base URL, e.g. http://127.0.0.1:8080.
+	URL string `json:"url"`
+	// Requests is the total request count.
+	Requests int `json:"requests"`
+	// Concurrency is the number of in-flight clients.
+	Concurrency int `json:"concurrency"`
+	// TraceSize is the records-per-request payload size.
+	TraceSize int `json:"traceSize"`
+	// Bootstrap is options.bootstrap in the request (0 disables).
+	Bootstrap int `json:"bootstrap"`
+	// Seed drives both the payload generator and options.seed.
+	Seed int64 `json:"seed"`
+	// Timeout bounds each request (0 = 30s).
+	Timeout time.Duration `json:"-"`
+}
+
+// HTTPResult is the loadgen leg's measurement: client-observed
+// throughput and latency percentiles plus a status-code census. Any
+// non-200 makes the leg an error upstream, but the census is still
+// reported for diagnosis.
+type HTTPResult struct {
+	Config      HTTPConfig     `json:"config"`
+	Requests    int            `json:"requests"`
+	Errors      int            `json:"errors"`
+	OpsPerSec   float64        `json:"opsPerSec"`
+	P50Ms       float64        `json:"p50Ms"`
+	P95Ms       float64        `json:"p95Ms"`
+	P99Ms       float64        `json:"p99Ms"`
+	StatusCount map[string]int `json:"statusCount"`
+}
+
+// RunHTTP drives cfg.Requests POST /evaluate calls against a live
+// drevald with cfg.Concurrency workers and measures client-side
+// latency. Transport errors and non-200 statuses count as errors; the
+// caller decides whether they fail the run.
+func RunHTTP(cfg HTTPConfig) (*HTTPResult, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("benchkit: http leg needs a server URL")
+	}
+	if cfg.Requests < 1 || cfg.Concurrency < 1 || cfg.TraceSize < 10 {
+		return nil, fmt.Errorf("benchkit: http leg needs requests >= 1, concurrency >= 1, traceSize >= 10")
+	}
+	if cfg.Concurrency > cfg.Requests {
+		cfg.Concurrency = cfg.Requests
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"trace":  SyntheticTrace(cfg.TraceSize, cfg.Seed),
+		"policy": "best-observed",
+		"options": map[string]any{
+			"bootstrap": cfg.Bootstrap,
+			"seed":      cfg.Seed,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: marshalling loadgen payload: %w", err)
+	}
+	url := strings.TrimRight(cfg.URL, "/") + "/evaluate"
+	client := &http.Client{Timeout: timeout}
+
+	var (
+		mu       sync.Mutex
+		lat      []float64
+		statuses = map[string]int{}
+		errs     int
+	)
+	work := make(chan struct{}, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				d := time.Since(t0).Seconds()
+				mu.Lock()
+				if err != nil {
+					errs++
+					statuses["transport-error"]++
+				} else {
+					statuses[fmt.Sprint(resp.StatusCode)]++
+					if resp.StatusCode != http.StatusOK {
+						errs++
+					}
+					lat = append(lat, d)
+				}
+				mu.Unlock()
+				if resp != nil {
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	res := &HTTPResult{
+		Config:      cfg,
+		Requests:    cfg.Requests,
+		Errors:      errs,
+		P50Ms:       Percentile(lat, 0.50) * 1000,
+		P95Ms:       Percentile(lat, 0.95) * 1000,
+		P99Ms:       Percentile(lat, 0.99) * 1000,
+		StatusCount: statuses,
+	}
+	if wall > 0 {
+		res.OpsPerSec = float64(cfg.Requests-errs) / wall
+	}
+	return res, nil
+}

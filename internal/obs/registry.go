@@ -107,17 +107,34 @@ type Histogram struct {
 	counts  []atomic.Uint64 // len(upper)+1; last is the +Inf bucket
 	sumBits atomic.Uint64
 	count   atomic.Uint64
+	// exemplars holds, per bucket, the most recent traced observation
+	// (ObserveExemplar); nil entries mean the bucket has none yet.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// Linear scan beats binary search at these bucket counts (≤ ~20)
-	// and keeps the hot path branch-predictable.
+// Exemplar links one concrete observation to the trace that produced
+// it, so a fat p99 bucket points at a timeline instead of a mystery.
+type Exemplar struct {
+	// Value is the observed value.
+	Value float64 `json:"value"`
+	// TraceID is the trace/correlation ID of the producing request.
+	TraceID string `json:"traceId"`
+}
+
+// bucketIndex returns the bucket v falls into. A linear scan beats
+// binary search at these bucket counts (≤ ~20) and keeps the hot path
+// branch-predictable.
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {
 		i++
 	}
-	h.counts[i].Add(1)
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -126,6 +143,25 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and remembers (value, traceID) as
+// the bucket's exemplar — last writer wins. An empty traceID degrades
+// to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if traceID != "" {
+		h.exemplars[h.bucketIndex(v)].Store(&Exemplar{Value: v, TraceID: traceID})
+	}
+	h.Observe(v)
+}
+
+// BucketExemplar returns bucket i's exemplar (i == len(buckets) is the
+// +Inf bucket), or nil when the bucket has none.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.
@@ -169,6 +205,32 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+	samplers []func()
+	// traceRec, when set, receives every completed span (see trace.go).
+	traceRec atomic.Pointer[TraceRecorder]
+}
+
+// RegisterSampler adds a function invoked at the start of every
+// exposition (WritePrometheus, Snapshot), before the registry lock is
+// taken. Samplers pull point-in-time state — runtime memory stats,
+// queue depths — into gauges so scrape-time values are fresh without a
+// background poller.
+func (r *Registry) RegisterSampler(f func()) {
+	r.mu.Lock()
+	r.samplers = append(r.samplers, f)
+	r.mu.Unlock()
+}
+
+// runSamplers invokes the registered samplers outside the registry
+// lock (samplers set gauges, which relock internally).
+func (r *Registry) runSamplers() {
+	r.mu.Lock()
+	fs := make([]func(), len(r.samplers))
+	copy(fs, r.samplers)
+	r.mu.Unlock()
+	for _, f := range fs {
+		f()
+	}
 }
 
 // NewRegistry returns an empty registry.
@@ -235,6 +297,7 @@ func (r *Registry) lookup(name string, k kind, buckets []float64, labels []Label
 		default:
 			h := &Histogram{upper: f.buckets}
 			h.counts = make([]atomic.Uint64, len(f.buckets)+1)
+			h.exemplars = make([]atomic.Pointer[Exemplar], len(f.buckets)+1)
 			s = h
 		}
 		f.series[ls] = s
@@ -287,6 +350,7 @@ func formatFloat(v float64) string {
 // (version 0.0.4), families and series in sorted order so output is
 // stable for tests and diffing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runSamplers()
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -347,6 +411,9 @@ func wrapLabels(key string) string {
 
 // writeHistogram emits cumulative buckets, sum and count for one
 // histogram series. The le label is appended after any series labels.
+// Buckets that carry an exemplar get it appended in OpenMetrics style
+// (` # {trace_id="…"} value`), which Prometheus parses and plain text
+// scrapers ignore as a comment.
 func writeHistogram(sb *strings.Builder, name, key string, h *Histogram) {
 	prefix := name + "_bucket{"
 	if key != "" {
@@ -355,17 +422,27 @@ func writeHistogram(sb *strings.Builder, name, key string, h *Histogram) {
 	var cum uint64
 	for i, ub := range h.upper {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(sb, "%sle=%q} %d\n", prefix, formatFloat(ub), cum)
+		fmt.Fprintf(sb, "%sle=%q} %d%s\n", prefix, formatFloat(ub), cum, exemplarSuffix(h.BucketExemplar(i)))
 	}
 	cum += h.counts[len(h.upper)].Load()
-	fmt.Fprintf(sb, "%sle=\"+Inf\"} %d\n", prefix, cum)
+	fmt.Fprintf(sb, "%sle=\"+Inf\"} %d%s\n", prefix, cum, exemplarSuffix(h.BucketExemplar(len(h.upper))))
 	fmt.Fprintf(sb, "%s_sum%s %s\n", name, wrapLabels(key), formatFloat(h.Sum()))
 	fmt.Fprintf(sb, "%s_count%s %d\n", name, wrapLabels(key), h.count.Load())
+}
+
+// exemplarSuffix renders an OpenMetrics exemplar annotation, or "" when
+// the bucket has none.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, formatFloat(e.Value))
 }
 
 // Snapshot returns a JSON-encodable view of every metric, keyed
 // "name" or "name{labels}", for /debug/vars-style endpoints.
 func (r *Registry) Snapshot() map[string]any {
+	r.runSamplers()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]any, len(r.families))
@@ -386,11 +463,25 @@ func (r *Registry) Snapshot() map[string]any {
 				}
 				cum += m.counts[len(m.upper)].Load()
 				buckets["+Inf"] = cum
-				out[full] = map[string]any{
+				view := map[string]any{
 					"count":   m.Count(),
 					"sum":     m.Sum(),
 					"buckets": buckets,
 				}
+				exemplars := map[string]*Exemplar{}
+				for i := range m.exemplars {
+					if e := m.exemplars[i].Load(); e != nil {
+						ub := "+Inf"
+						if i < len(m.upper) {
+							ub = formatFloat(m.upper[i])
+						}
+						exemplars[ub] = e
+					}
+				}
+				if len(exemplars) > 0 {
+					view["exemplars"] = exemplars
+				}
+				out[full] = view
 			}
 		}
 	}

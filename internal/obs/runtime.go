@@ -1,0 +1,55 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics exports Go runtime telemetry from reg as
+// gauges, refreshed by a scrape-time sampler (RegisterSampler) so
+// /metrics and /debug/vars always show current values without a
+// background poller:
+//
+//	go_goroutines                          live goroutines
+//	go_gomaxprocs                          scheduler width
+//	go_memstats_heap_alloc_bytes           bytes of allocated heap objects
+//	go_memstats_heap_inuse_bytes           bytes in in-use heap spans
+//	go_memstats_heap_sys_bytes             heap bytes obtained from the OS
+//	go_memstats_gc_cycles_total            completed GC cycles
+//	go_memstats_gc_pause_total_seconds     cumulative stop-the-world pause
+//	go_memstats_next_gc_bytes              heap size that triggers the next GC
+//
+// Call once per registry; calling again just adds a redundant sampler.
+// The names follow the conventional Prometheus Go-collector scheme so
+// existing dashboards apply unchanged.
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.Help("go_goroutines", "Number of goroutines that currently exist.")
+	reg.Help("go_gomaxprocs", "Value of GOMAXPROCS: OS threads executing Go code simultaneously.")
+	reg.Help("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	reg.Help("go_memstats_heap_inuse_bytes", "Bytes in in-use heap spans.")
+	reg.Help("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.")
+	reg.Help("go_memstats_gc_cycles_total", "Completed GC cycles.")
+	reg.Help("go_memstats_gc_pause_total_seconds", "Cumulative stop-the-world GC pause.")
+	reg.Help("go_memstats_next_gc_bytes", "Heap size at which the next GC cycle triggers.")
+
+	goroutines := reg.Gauge("go_goroutines")
+	gomaxprocs := reg.Gauge("go_gomaxprocs")
+	heapAlloc := reg.Gauge("go_memstats_heap_alloc_bytes")
+	heapInuse := reg.Gauge("go_memstats_heap_inuse_bytes")
+	heapSys := reg.Gauge("go_memstats_heap_sys_bytes")
+	gcCycles := reg.Gauge("go_memstats_gc_cycles_total")
+	gcPause := reg.Gauge("go_memstats_gc_pause_total_seconds")
+	nextGC := reg.Gauge("go_memstats_next_gc_bytes")
+
+	reg.RegisterSampler(func() {
+		// ReadMemStats briefly stops the world; acceptable at scrape
+		// rates, which is why this runs per exposition, not per request.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		gomaxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapInuse.Set(float64(ms.HeapInuse))
+		heapSys.Set(float64(ms.HeapSys))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		nextGC.Set(float64(ms.NextGC))
+	})
+}

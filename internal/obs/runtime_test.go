@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsSampledAtScrape(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"go_goroutines",
+		"go_gomaxprocs",
+		"go_memstats_heap_alloc_bytes",
+		"go_memstats_heap_inuse_bytes",
+		"go_memstats_gc_cycles_total",
+		"go_memstats_gc_pause_total_seconds",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Fatalf("exposition missing %s:\n%s", name, out)
+		}
+	}
+	if r.Gauge("go_goroutines").Value() < 1 {
+		t.Fatalf("go_goroutines = %g, want >= 1", r.Gauge("go_goroutines").Value())
+	}
+	if r.Gauge("go_gomaxprocs").Value() < 1 {
+		t.Fatalf("go_gomaxprocs = %g, want >= 1", r.Gauge("go_gomaxprocs").Value())
+	}
+	if r.Gauge("go_memstats_heap_alloc_bytes").Value() <= 0 {
+		t.Fatal("heap alloc gauge not sampled")
+	}
+
+	// Snapshot runs the same samplers.
+	snap := NewRegistry()
+	RegisterRuntimeMetrics(snap)
+	m := snap.Snapshot()
+	v, ok := m["go_goroutines"].(float64)
+	if !ok || v < 1 {
+		t.Fatalf("snapshot go_goroutines = %v", m["go_goroutines"])
+	}
+}

@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTracedRegistry returns a registry with a recorder of the given
+// capacity installed.
+func newTracedRegistry(capacity int) (*Registry, *TraceRecorder) {
+	r := NewRegistry()
+	tr := NewTraceRecorder(capacity)
+	r.SetTraceRecorder(tr)
+	return r, tr
+}
+
+func TestTraceRecorderKeepsParentChildStructure(t *testing.T) {
+	r, tr := newTracedRegistry(16)
+	root := r.StartSpan("request")
+	root.Attr("route", "/evaluate")
+	child := root.StartChild("bootstrap")
+	grand := child.StartChild("resample")
+	grand.End()
+	child.End()
+	root.End()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(recs))
+	}
+	// Commit order is End order: grand, child, root.
+	if recs[0].Name != "resample" || recs[1].Name != "bootstrap" || recs[2].Name != "request" {
+		t.Fatalf("unexpected commit order: %v %v %v", recs[0].Name, recs[1].Name, recs[2].Name)
+	}
+	for _, rec := range recs {
+		if rec.Trace != root.ID() {
+			t.Fatalf("span %s has trace %q, want %q", rec.Name, rec.Trace, root.ID())
+		}
+	}
+	if recs[2].Parent != "" {
+		t.Fatalf("root has parent %q", recs[2].Parent)
+	}
+	if recs[1].Parent != recs[2].Span {
+		t.Fatalf("bootstrap parent %q != request span %q", recs[1].Parent, recs[2].Span)
+	}
+	if recs[0].Parent != recs[1].Span {
+		t.Fatalf("resample parent %q != bootstrap span %q", recs[0].Parent, recs[1].Span)
+	}
+	if recs[2].Attrs["route"] != "/evaluate" {
+		t.Fatalf("root attrs = %v", recs[2].Attrs)
+	}
+
+	tl := tr.Slowest(10)
+	if len(tl) != 1 {
+		t.Fatalf("Slowest returned %d timelines, want 1", len(tl))
+	}
+	got := tl[0]
+	if got.Root != "request" || got.Trace != root.ID() {
+		t.Fatalf("timeline root=%q trace=%q", got.Root, got.Trace)
+	}
+	if len(got.Spans.Children) != 1 || got.Spans.Children[0].Name != "bootstrap" {
+		t.Fatalf("timeline children = %+v", got.Spans.Children)
+	}
+	if kids := got.Spans.Children[0].Children; len(kids) != 1 || kids[0].Name != "resample" {
+		t.Fatalf("nested children = %+v", got.Spans.Children[0].Children)
+	}
+}
+
+func TestTraceRecorderBoundedMemoryEviction(t *testing.T) {
+	r, tr := newTracedRegistry(8)
+	for i := 0; i < 100; i++ {
+		r.StartSpan(fmt.Sprintf("s%d", i)).End()
+	}
+	recs := tr.Records()
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records, want capacity 8", len(recs))
+	}
+	// Only the newest 8 survive, in commit order.
+	for i, rec := range recs {
+		want := fmt.Sprintf("s%d", 92+i)
+		if rec.Name != want {
+			t.Fatalf("slot %d = %q, want %q (old spans must be evicted)", i, rec.Name, want)
+		}
+	}
+	if tr.Recorded() != 100 {
+		t.Fatalf("Recorded() = %d, want 100", tr.Recorded())
+	}
+}
+
+func TestTraceRecorderConcurrentWriters(t *testing.T) {
+	r, tr := newTracedRegistry(64)
+	const writers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sp := r.StartSpan("work")
+				sp.Attr("writer", fmt.Sprint(w))
+				if i%3 == 0 {
+					sp.SetError("synthetic")
+				}
+				sp.StartChild("inner").End()
+				sp.End()
+			}
+		}(w)
+	}
+	// Concurrent readers must see consistent records while the ring is
+	// being overwritten.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, rec := range tr.Records() {
+				if rec.Name != "work" && rec.Name != "inner" {
+					t.Errorf("torn record name %q", rec.Name)
+					return
+				}
+			}
+			tr.Slowest(5)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := tr.Recorded(), uint64(writers*each*2); got != want {
+		t.Fatalf("Recorded() = %d, want %d", got, want)
+	}
+	if len(tr.Records()) != 64 {
+		t.Fatalf("ring holds %d, want 64", len(tr.Records()))
+	}
+}
+
+func TestTraceRecorderJSONLExportDeterministicOrder(t *testing.T) {
+	runOnce := func() []string {
+		r, tr := newTracedRegistry(32)
+		var mu sync.Mutex
+		var lines []string
+		tr.SetSink(func(line []byte) {
+			mu.Lock()
+			lines = append(lines, string(line))
+			mu.Unlock()
+		})
+		for i := 0; i < 5; i++ {
+			root := r.StartSpan(fmt.Sprintf("req%d", i))
+			root.StartChild("phase").End()
+			root.End()
+		}
+		names := make([]string, len(lines))
+		for i, l := range lines {
+			if !strings.HasSuffix(l, "\n") {
+				t.Fatalf("line %d missing trailing newline: %q", i, l)
+			}
+			var rec SpanRecord
+			if err := json.Unmarshal([]byte(l), &rec); err != nil {
+				t.Fatalf("line %d not valid JSON: %v", i, err)
+			}
+			names[i] = rec.Name
+		}
+		return names
+	}
+	a, b := runOnce(), runOnce()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("JSONL order differs across identical runs:\n%v\n%v", a, b)
+	}
+	want := []string{"phase", "req0", "phase", "req1", "phase", "req2", "phase", "req3", "phase", "req4"}
+	if fmt.Sprint(a) != fmt.Sprint(want) {
+		t.Fatalf("JSONL order = %v, want completion order %v", a, want)
+	}
+}
+
+func TestTraceHandlerServesSlowestTimelines(t *testing.T) {
+	r, tr := newTracedRegistry(32)
+	// Two requests with distinguishable durations.
+	slow := r.StartSpanWithID("request", "trace-slow")
+	time.Sleep(5 * time.Millisecond)
+	slow.End()
+	fast := r.StartSpanWithID("request", "trace-fast")
+	fast.End()
+
+	req := httptest.NewRequest("GET", "/debug/traces?n=1", nil)
+	rw := httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rw, req)
+	if rw.Code != 200 {
+		t.Fatalf("status %d", rw.Code)
+	}
+	var resp struct {
+		Buffered int        `json:"buffered"`
+		Recorded uint64     `json:"recorded"`
+		Traces   []Timeline `json:"traces"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding body: %v", err)
+	}
+	if resp.Buffered != 2 || resp.Recorded != 2 {
+		t.Fatalf("buffered=%d recorded=%d, want 2/2", resp.Buffered, resp.Recorded)
+	}
+	if len(resp.Traces) != 1 {
+		t.Fatalf("got %d timelines, want n=1", len(resp.Traces))
+	}
+	if resp.Traces[0].Trace != "trace-slow" {
+		t.Fatalf("slowest trace = %q, want trace-slow", resp.Traces[0].Trace)
+	}
+
+	// Bad n is a 400, not a panic.
+	rw = httptest.NewRecorder()
+	tr.Handler().ServeHTTP(rw, httptest.NewRequest("GET", "/debug/traces?n=bogus", nil))
+	if rw.Code != 400 {
+		t.Fatalf("bad n: status %d, want 400", rw.Code)
+	}
+}
+
+func TestSpanErrorCounterAndExemplar(t *testing.T) {
+	r, _ := newTracedRegistry(8)
+	sp := r.StartSpanWithID("op", "trace-err")
+	sp.SetError("boom")
+	sp.End()
+	if got := r.Counter(spanErrors, L("span", "op")).Value(); got != 1 {
+		t.Fatalf("obs_span_errors_total = %d, want 1", got)
+	}
+	// A clean span of a different name neither bumps the error counter
+	// nor overwrites op's exemplar.
+	ok := r.StartSpan("op2")
+	ok.End()
+	if got := r.Counter(spanErrors, L("span", "op")).Value(); got != 1 {
+		t.Fatalf("clean span bumped the error counter: %d", got)
+	}
+
+	// The duration histogram carries the trace ID as a bucket exemplar,
+	// rendered in OpenMetrics style.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="trace-err"}`) {
+		t.Fatalf("exposition missing exemplar:\n%s", out)
+	}
+	if !strings.Contains(out, `obs_span_errors_total{span="op"} 1`) {
+		t.Fatalf("exposition missing error counter:\n%s", out)
+	}
+
+	// Snapshot exposes the same exemplar for /debug/vars.
+	snap := r.Snapshot()
+	hist, ok2 := snap[`obs_span_seconds{span="op"}`].(map[string]any)
+	if !ok2 {
+		t.Fatalf("snapshot missing span histogram: %v", snap)
+	}
+	exemplars, ok2 := hist["exemplars"].(map[string]*Exemplar)
+	if !ok2 || len(exemplars) == 0 {
+		t.Fatalf("snapshot missing exemplars: %v", hist)
+	}
+	found := false
+	for _, e := range exemplars {
+		if e.TraceID == "trace-err" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exemplars lack trace-err: %v", exemplars)
+	}
+}
+
+func TestSpanNilSafetyAndDoubleEnd(t *testing.T) {
+	var sp *Span
+	sp.SetError("ignored")
+	if sp.Attr("k", "v") != nil {
+		t.Fatal("nil span Attr must return nil")
+	}
+	if sp.Failed() {
+		t.Fatal("nil span cannot have failed")
+	}
+	child := sp.StartChild("orphan")
+	if child == nil || child.parent != "" {
+		t.Fatalf("nil-parent StartChild must open a root span, got %+v", child)
+	}
+	child.End()
+
+	r, tr := newTracedRegistry(8)
+	s := r.StartSpan("once")
+	s.End()
+	s.End()
+	if tr.Recorded() != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", tr.Recorded())
+	}
+	if h := r.Histogram(spanSeconds, TimeBuckets, L("span", "once")); h.Count() != 1 {
+		t.Fatalf("double End observed %d durations, want 1", h.Count())
+	}
+}
+
+func TestSpanWithoutRecorderStillObserves(t *testing.T) {
+	r := NewRegistry() // no recorder installed
+	sp := r.StartSpan("bare")
+	sp.Attr("k", "v")
+	sp.End()
+	if got := r.Histogram(spanSeconds, TimeBuckets, L("span", "bare")).Count(); got != 1 {
+		t.Fatalf("histogram count = %d, want 1", got)
+	}
+	if r.TraceRecorder() != nil {
+		t.Fatal("registry unexpectedly has a recorder")
+	}
+}
+
+func TestContextSpanRoundTrip(t *testing.T) {
+	r, _ := newTracedRegistry(8)
+	sp := r.StartSpan("request")
+	ctx := ContextWithSpan(context.Background(), sp)
+	got := SpanFromContext(ctx)
+	if got != sp {
+		t.Fatalf("SpanFromContext = %p, want %p", got, sp)
+	}
+	child := got.StartChild("phase")
+	if child.ID() != sp.ID() {
+		t.Fatalf("child trace %q != root trace %q", child.ID(), sp.ID())
+	}
+	child.End()
+	sp.End()
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context must yield nil span")
+	}
+}

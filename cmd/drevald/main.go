@@ -134,6 +134,8 @@ func main() {
 		}
 		defer f.Close()
 		traceRecorder.SetSink(func(line []byte) { _, _ = f.Write(line) })
+		// LIFO: flush the sink's drainer before the file closes.
+		defer traceRecorder.SetSink(nil)
 	}
 	parallel.SetDefaultWorkers(*workers)
 	level, err := obs.ParseLevel(*logLevel)

@@ -253,6 +253,9 @@ func TestTraceSinkStreamsJSONL(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/evaluate returned %d", resp.StatusCode)
 	}
+	// The sink is drained by a background goroutine; removing it
+	// flushes every queued line before we inspect them.
+	traceRecorder.SetSink(nil)
 
 	mu.Lock()
 	defer mu.Unlock()

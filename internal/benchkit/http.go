@@ -31,9 +31,11 @@ type HTTPConfig struct {
 }
 
 // HTTPResult is the loadgen leg's measurement: client-observed
-// throughput and latency percentiles plus a status-code census. Any
-// non-200 makes the leg an error upstream, but the census is still
-// reported for diagnosis.
+// throughput and latency percentiles plus a status-code census. Both
+// OpsPerSec and the percentiles cover successful (200) responses only,
+// so fast error answers (e.g. 429s from load shedding) cannot skew the
+// latency distribution downward. Any non-200 makes the leg an error
+// upstream, but the census is still reported for diagnosis.
 type HTTPResult struct {
 	Config      HTTPConfig     `json:"config"`
 	Requests    int            `json:"requests"`
@@ -106,10 +108,11 @@ func RunHTTP(cfg HTTPConfig) (*HTTPResult, error) {
 					statuses["transport-error"]++
 				} else {
 					statuses[fmt.Sprint(resp.StatusCode)]++
-					if resp.StatusCode != http.StatusOK {
+					if resp.StatusCode == http.StatusOK {
+						lat = append(lat, d)
+					} else {
 						errs++
 					}
-					lat = append(lat, d)
 				}
 				mu.Unlock()
 				if resp != nil {

@@ -346,10 +346,29 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WritePrometheus renders every family in text exposition format
-// (version 0.0.4), families and series in sorted order so output is
-// stable for tests and diffing.
+// WritePrometheus renders every family in the classic Prometheus text
+// exposition format (version 0.0.4), families and series in sorted
+// order so output is stable for tests and diffing. Exemplars are never
+// emitted here: the 0.0.4 parser only treats '#' as a comment at line
+// start, so an exemplar suffix on a sample line would make a standard
+// Prometheus scrape fail outright. Scrapers that understand exemplars
+// negotiate WriteOpenMetrics via MetricsHandler instead.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders every family in OpenMetrics text format
+// (application/openmetrics-text): the classic layout plus histogram
+// bucket exemplars and the mandatory `# EOF` terminator. Counter
+// family metadata drops the `_total` suffix, as the spec requires
+// (`# TYPE foo counter` describing the `foo_total` sample); a counter
+// whose name lacks the suffix is declared `unknown` so the exposition
+// stays parseable.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	r.runSamplers()
 	r.mu.Lock()
 	names := make([]string, 0, len(r.families))
@@ -383,10 +402,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		if len(s.series) == 0 {
 			continue
 		}
-		if s.f.help != "" {
-			fmt.Fprintf(&sb, "# HELP %s %s\n", s.f.name, s.f.help)
+		metaName, metaKind := s.f.name, s.f.kind.String()
+		if openMetrics && s.f.kind == kindCounter {
+			if strings.HasSuffix(s.f.name, "_total") {
+				metaName = strings.TrimSuffix(s.f.name, "_total")
+			} else {
+				metaKind = "unknown"
+			}
 		}
-		fmt.Fprintf(&sb, "# TYPE %s %s\n", s.f.name, s.f.kind)
+		if s.f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", metaName, s.f.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", metaName, metaKind)
 		for i, key := range s.keys {
 			switch m := s.series[i].(type) {
 			case *Counter:
@@ -394,9 +421,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case *Gauge:
 				fmt.Fprintf(&sb, "%s%s %s\n", s.f.name, wrapLabels(key), formatFloat(m.Value()))
 			case *Histogram:
-				writeHistogram(&sb, s.f.name, key, m)
+				writeHistogram(&sb, s.f.name, key, m, openMetrics)
 			}
 		}
+	}
+	if openMetrics {
+		sb.WriteString("# EOF\n")
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
@@ -411,21 +441,27 @@ func wrapLabels(key string) string {
 
 // writeHistogram emits cumulative buckets, sum and count for one
 // histogram series. The le label is appended after any series labels.
-// Buckets that carry an exemplar get it appended in OpenMetrics style
-// (` # {trace_id="…"} value`), which Prometheus parses and plain text
-// scrapers ignore as a comment.
-func writeHistogram(sb *strings.Builder, name, key string, h *Histogram) {
+// With exemplars enabled (OpenMetrics only — the 0.0.4 format cannot
+// represent them), buckets that carry one get it appended as
+// ` # {trace_id="…"} value`.
+func writeHistogram(sb *strings.Builder, name, key string, h *Histogram, exemplars bool) {
 	prefix := name + "_bucket{"
 	if key != "" {
 		prefix += key + ","
 	}
 	var cum uint64
-	for i, ub := range h.upper {
+	for i := 0; i <= len(h.upper); i++ {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(sb, "%sle=%q} %d%s\n", prefix, formatFloat(ub), cum, exemplarSuffix(h.BucketExemplar(i)))
+		ub := "+Inf"
+		if i < len(h.upper) {
+			ub = formatFloat(h.upper[i])
+		}
+		var ex string
+		if exemplars {
+			ex = exemplarSuffix(h.BucketExemplar(i))
+		}
+		fmt.Fprintf(sb, "%sle=%q} %d%s\n", prefix, ub, cum, ex)
 	}
-	cum += h.counts[len(h.upper)].Load()
-	fmt.Fprintf(sb, "%sle=\"+Inf\"} %d%s\n", prefix, cum, exemplarSuffix(h.BucketExemplar(len(h.upper))))
 	fmt.Fprintf(sb, "%s_sum%s %s\n", name, wrapLabels(key), formatFloat(h.Sum()))
 	fmt.Fprintf(sb, "%s_count%s %d\n", name, wrapLabels(key), h.count.Load())
 }
@@ -488,9 +524,19 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
-// MetricsHandler serves the registry in Prometheus text format.
+// MetricsHandler serves the registry over HTTP, negotiating the format
+// from the Accept header: scrapers that ask for
+// application/openmetrics-text get the OpenMetrics exposition with
+// bucket exemplars and `# EOF`; everyone else gets classic
+// text/plain 0.0.4 without exemplars, which a stock Prometheus parses
+// cleanly.
 func (r *Registry) MetricsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})

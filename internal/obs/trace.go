@@ -45,19 +45,57 @@ type SpanRecord struct {
 // much as a histogram observation and can sit on every request path.
 // Old spans are overwritten once the ring wraps, which bounds memory
 // regardless of traffic. An optional sink receives every record as one
-// JSON line (JSONL) at completion time, in commit order.
+// JSON line (JSONL) at completion time: lines are marshalled by the
+// recording goroutine but written by a single background drainer, so
+// a slow sink (e.g. the -trace-out file) never blocks request paths —
+// lines that would block are dropped and counted instead.
 type TraceRecorder struct {
 	slots []atomic.Pointer[SpanRecord]
 	next  atomic.Uint64
 
-	sinkMu sync.Mutex
-	sink   writerFunc
+	sinkMu      sync.Mutex // serializes SetSink swaps, not line writes
+	sink        atomic.Pointer[sinkState]
+	sinkDropped atomic.Uint64
 }
 
 // writerFunc is the sink contract: receives one marshalled JSONL line
 // (newline included). Kept as a func so the recorder does not own any
-// file lifecycle.
+// file lifecycle. Calls are made from a single drainer goroutine, so
+// the func never runs concurrently with itself.
 type writerFunc func(line []byte)
+
+// sinkBufferLines bounds how many marshalled lines may be queued for
+// the drainer before record starts dropping.
+const sinkBufferLines = 1024
+
+// sinkState is one installed sink: its line queue, a quit signal for
+// SetSink, and done closed once the drainer has flushed and exited.
+type sinkState struct {
+	ch   chan []byte
+	quit chan struct{}
+	done chan struct{}
+}
+
+// drain feeds queued lines to w until quit, then flushes whatever is
+// still buffered and exits.
+func (st *sinkState) drain(w writerFunc) {
+	defer close(st.done)
+	for {
+		select {
+		case line := <-st.ch:
+			w(line)
+		case <-st.quit:
+			for {
+				select {
+				case line := <-st.ch:
+					w(line)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
 
 // NewTraceRecorder returns a recorder holding up to capacity completed
 // spans (minimum 1).
@@ -76,16 +114,45 @@ func (tr *TraceRecorder) Capacity() int { return len(tr.slots) }
 func (tr *TraceRecorder) Recorded() uint64 { return tr.next.Load() }
 
 // SetSink installs (or, with nil, removes) a JSONL sink. Each completed
-// span is marshalled and handed to w as one newline-terminated line,
-// serialized under an internal mutex so lines never interleave.
+// span is marshalled to one newline-terminated line and handed to a
+// background drainer goroutine that calls w serially, so lines never
+// interleave and a slow w never blocks span End. The queue holds
+// sinkBufferLines lines; overflow is dropped and counted (SinkDropped).
+// Replacing or removing a sink flushes the old sink's queue and waits
+// for its drainer to exit, so after SetSink(nil) returns every
+// delivered line has been written — spans ending concurrently with the
+// swap may be lost, not half-written.
 func (tr *TraceRecorder) SetSink(w func(line []byte)) {
 	tr.sinkMu.Lock()
-	tr.sink = w
-	tr.sinkMu.Unlock()
+	defer tr.sinkMu.Unlock()
+	var st *sinkState
+	if w != nil {
+		st = &sinkState{
+			ch:   make(chan []byte, sinkBufferLines),
+			quit: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+		go st.drain(w)
+	}
+	if old := tr.sink.Swap(st); old != nil {
+		close(old.quit)
+		<-old.done
+	}
+}
+
+// SinkDropped reports how many JSONL lines were discarded because the
+// sink queue was full (the sink writer could not keep up).
+func (tr *TraceRecorder) SinkDropped() uint64 {
+	if tr == nil {
+		return 0
+	}
+	return tr.sinkDropped.Load()
 }
 
 // record commits one completed span. Called from Span.End; nil-safe so
-// spans on registries without a recorder cost nothing extra.
+// spans on registries without a recorder cost nothing extra. The sink
+// hand-off is non-blocking: marshalling happens here, on an immutable
+// record, and the line is queued for the drainer or dropped.
 func (tr *TraceRecorder) record(rec *SpanRecord) {
 	if tr == nil || rec == nil {
 		return
@@ -93,13 +160,15 @@ func (tr *TraceRecorder) record(rec *SpanRecord) {
 	seq := tr.next.Add(1) - 1
 	rec.seq = seq
 	tr.slots[seq%uint64(len(tr.slots))].Store(rec)
-	tr.sinkMu.Lock()
-	if tr.sink != nil {
+	if st := tr.sink.Load(); st != nil {
 		if b, err := json.Marshal(rec); err == nil {
-			tr.sink(append(b, '\n'))
+			select {
+			case st.ch <- append(b, '\n'):
+			default:
+				tr.sinkDropped.Add(1)
+			}
 		}
 	}
-	tr.sinkMu.Unlock()
 }
 
 // Records returns a snapshot of the buffered spans in commit order

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -152,6 +153,11 @@ func TestTraceRecorderJSONLExportDeterministicOrder(t *testing.T) {
 			root.StartChild("phase").End()
 			root.End()
 		}
+		// Removing the sink flushes the drainer, so every queued line
+		// has been delivered before we look.
+		tr.SetSink(nil)
+		mu.Lock()
+		defer mu.Unlock()
 		names := make([]string, len(lines))
 		for i, l := range lines {
 			if !strings.HasSuffix(l, "\n") {
@@ -232,18 +238,37 @@ func TestSpanErrorCounterAndExemplar(t *testing.T) {
 		t.Fatalf("clean span bumped the error counter: %d", got)
 	}
 
-	// The duration histogram carries the trace ID as a bucket exemplar,
-	// rendered in OpenMetrics style.
+	// The duration histogram carries the trace ID as a bucket exemplar
+	// in the OpenMetrics exposition only: the classic 0.0.4 text format
+	// cannot represent exemplars (Prometheus would reject the scrape),
+	// so WritePrometheus must omit them.
 	var sb strings.Builder
-	if err := r.WritePrometheus(&sb); err != nil {
+	if err := r.WriteOpenMetrics(&sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
 	if !strings.Contains(out, `# {trace_id="trace-err"}`) {
-		t.Fatalf("exposition missing exemplar:\n%s", out)
+		t.Fatalf("openmetrics exposition missing exemplar:\n%s", out)
 	}
 	if !strings.Contains(out, `obs_span_errors_total{span="op"} 1`) {
 		t.Fatalf("exposition missing error counter:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE obs_span_errors counter\n") {
+		t.Fatalf("openmetrics counter metadata must drop _total:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("openmetrics exposition missing # EOF terminator:\n%s", out)
+	}
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	classic := sb.String()
+	if strings.Contains(classic, " # {") {
+		t.Fatalf("classic 0.0.4 exposition must not carry exemplars:\n%s", classic)
+	}
+	if !strings.Contains(classic, `obs_span_errors_total{span="op"} 1`) {
+		t.Fatalf("classic exposition missing error counter:\n%s", classic)
 	}
 
 	// Snapshot exposes the same exemplar for /debug/vars.
@@ -304,6 +329,79 @@ func TestSpanWithoutRecorderStillObserves(t *testing.T) {
 	}
 	if r.TraceRecorder() != nil {
 		t.Fatal("registry unexpectedly has a recorder")
+	}
+}
+
+// TestTraceSinkOverflowDropsAndCounts: a sink writer that cannot keep
+// up must never block span End — excess lines are dropped and counted,
+// and every line that was queued is still flushed by SetSink(nil).
+func TestTraceSinkOverflowDropsAndCounts(t *testing.T) {
+	r, tr := newTracedRegistry(4)
+	release := make(chan struct{})
+	var delivered atomic.Uint64
+	tr.SetSink(func(line []byte) {
+		<-release
+		delivered.Add(1)
+	})
+	const n = sinkBufferLines + 64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			r.StartSpan("s").End()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("span End blocked on a stalled sink")
+	}
+	close(release)
+	tr.SetSink(nil) // flushes the queue and stops the drainer
+	if tr.SinkDropped() == 0 {
+		t.Fatal("expected overflow lines to be dropped and counted")
+	}
+	if got := delivered.Load() + tr.SinkDropped(); got != n {
+		t.Fatalf("delivered %d + dropped %d = %d, want %d",
+			delivered.Load(), tr.SinkDropped(), got, n)
+	}
+}
+
+// TestMetricsHandlerFormatNegotiation: exemplars are only legal in
+// OpenMetrics, so /metrics must emit them solely when the scraper asks
+// for application/openmetrics-text; a default (Prometheus 0.0.4)
+// scrape must stay exemplar-free and parseable.
+func TestMetricsHandlerFormatNegotiation(t *testing.T) {
+	r, _ := newTracedRegistry(8)
+	r.StartSpanWithID("op", "trace-neg").End()
+	handler := r.MetricsHandler()
+
+	rw := httptest.NewRecorder()
+	handler.ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("default Content-Type = %q", ct)
+	}
+	body := rw.Body.String()
+	if strings.Contains(body, " # {") || strings.Contains(body, "# EOF") {
+		t.Fatalf("0.0.4 response carries OpenMetrics constructs:\n%s", body)
+	}
+	if !strings.Contains(body, `obs_span_seconds_count{span="op"} 1`) {
+		t.Fatalf("0.0.4 response missing span histogram:\n%s", body)
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rw = httptest.NewRecorder()
+	handler.ServeHTTP(rw, req)
+	if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated Content-Type = %q", ct)
+	}
+	body = rw.Body.String()
+	if !strings.Contains(body, `# {trace_id="trace-neg"}`) {
+		t.Fatalf("openmetrics response missing exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("openmetrics response missing # EOF:\n%s", body)
 	}
 }
 

@@ -67,7 +67,7 @@ func TestChaosCancelMidBootstrap(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	cancelled := obs.Default.Counter("parallel_pool_cancelled_chunks_total")
+	cancelled := obs.Default.Counter("obs_pool_cancelled_chunks_total")
 	inFlight := obs.Default.Gauge("drevald_http_in_flight", obs.L("route", "/evaluate"))
 	cancelledBefore := cancelled.Value()
 

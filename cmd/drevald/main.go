@@ -154,6 +154,7 @@ func main() {
 			log.Fatalf("drevald: debug listener: %v", err)
 		}
 		go func() {
+			defer recoverGoroutine("debug-listener")
 			if err := http.Serve(ln, newDebugMux()); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				srvLog.Error("debug listener failed", "err", err)
 			}
@@ -227,6 +228,7 @@ func (s *server) addr() string { return s.ln.Addr().String() }
 func (s *server) run(stop <-chan os.Signal) error {
 	serveErr := make(chan error, 1)
 	go func() {
+		defer recoverGoroutine("serve")
 		if err := s.srv.Serve(s.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			serveErr <- err
 		}
@@ -236,6 +238,9 @@ func (s *server) run(stop <-chan os.Signal) error {
 	case err := <-serveErr:
 		return err
 	}
+	// The drain deadline is anchored to process shutdown, not to any
+	// request, so Background is the right parent here.
+	//lint:allow ctxdiscipline shutdown drain has no request context to inherit
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	return s.srv.Shutdown(ctx)
@@ -478,12 +483,22 @@ type evalErrorJSON struct {
 // measured.
 func timed[T any](parent *obs.Span, name string, fn func() (T, error)) (T, error) {
 	sp := parent.StartChild(name)
+	defer sp.End()
 	v, err := fn()
 	if err != nil {
 		sp.SetError(err.Error())
 	}
-	sp.End()
 	return v, err
+}
+
+// recoverGoroutine is the deferred first statement of every background
+// goroutine this command starts: a panic escaping a goroutine kills the
+// whole process, so record it in the panic counter and the log instead.
+func recoverGoroutine(name string) {
+	if v := recover(); v != nil {
+		panicsTotal.Inc()
+		srvLog.Error("goroutine panicked", "goroutine", name, "panic", fmt.Sprint(v))
+	}
 }
 
 func handleDiagnose(w http.ResponseWriter, r *http.Request) {
@@ -528,11 +543,15 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			"n", diag.N, "essRatio", diag.ESS/float64(diag.N),
 			"maxWeight", diag.MaxWeight, "zeroSupport", diag.ZeroSupport)
 	}
-	spFit := root.StartChild("fit_model")
-	model := core.FitTable(trace, func(c traceio.FlatContext, d string) string {
-		return c.Key() + "|" + d
+	model, err := timed(root, "fit_model", func() (*core.TableModel[traceio.FlatContext, string], error) {
+		return core.FitTableCtx(ctx, trace, func(c traceio.FlatContext, d string) string {
+			return c.Key() + "|" + d
+		})
 	})
-	spFit.End()
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
 	dm, err := timed(root, "direct_method", func() (core.Estimate, error) {
 		return core.DirectMethodCtx(ctx, trace, policy, model)
 	})
@@ -586,16 +605,19 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		// Sharded bootstrap: resamples run on the worker pool, one PCG
 		// stream per resample, so the interval depends only on the seed.
-		sp := root.StartChild("drevald_bootstrap").
-			Attr("resamples", fmt.Sprint(b))
-		ci, stats, err := core.BootstrapSeededStatsCtx(ctx, trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
-			m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
-			return core.DoublyRobust(t, policy, m, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
-		}, seed, b, 0.95)
-		if err != nil {
-			sp.SetError(err.Error())
-		}
-		sp.End()
+		ci, stats, err := func() (core.Interval, core.BootstrapStats, error) {
+			sp := root.StartChild("drevald_bootstrap").
+				Attr("resamples", fmt.Sprint(b))
+			defer sp.End()
+			ci, stats, err := core.BootstrapSeededStatsCtx(ctx, trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
+				m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
+				return core.DoublyRobust(t, policy, m, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+			}, seed, b, 0.95)
+			if err != nil {
+				sp.SetError(err.Error())
+			}
+			return ci, stats, err
+		}()
 		bootResamples.Add(uint64(stats.Resamples))
 		bootSkipped.Add(uint64(stats.Skipped))
 		if err != nil {

@@ -211,8 +211,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		`drevald_eval_zero_support_count`,
 		`drevald_bootstrap_resamples_total`,
 		`drevald_bootstrap_skipped_total`,
-		`parallel_pool_tasks_total`,
-		`parallel_pool_default_workers`,
+		`obs_pool_tasks_total`,
+		`obs_pool_default_workers`,
 		`obs_span_seconds_count{span="drevald_bootstrap"}`,
 	} {
 		if _, ok := before[key]; !ok {
@@ -240,7 +240,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	for _, key := range []string{
 		`drevald_http_request_seconds_count{route="/evaluate"}`,
 		`drevald_eval_ess_ratio_count`,
-		`parallel_pool_tasks_total`,
+		`obs_pool_tasks_total`,
 	} {
 		if after[key] < before[key] {
 			t.Fatalf("%s decreased: %g → %g", key, before[key], after[key])

@@ -267,6 +267,7 @@ func runAll(ctx context.Context, w io.Writer, which string, runs int, seed int64
 			mw := startMemWatch()
 			sp := obs.StartSpan(j.id)
 			res, err := j.fn(runs, seed)
+			//lint:allow obshygiene End's duration is the recorded wall time, so it must run inline
 			d := sp.End()
 			peakHeap, gcCycles, allocs := mw.end()
 			results[i] = outcome{

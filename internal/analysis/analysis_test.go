@@ -1,0 +1,176 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+
+	"drnet/internal/analysis"
+)
+
+// probe reports one "define" diagnostic per := statement; the
+// suppression tests pivot on it.
+var probe = &analysis.Analyzer{
+	Name: "probe",
+	Doc:  "reports every short variable declaration",
+	Run: func(p *analysis.Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if asg, ok := n.(*ast.AssignStmt); ok && asg.Tok == token.DEFINE {
+					p.Reportf(asg.Pos(), "define")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func newLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// lineOf finds the 1-based line of the first occurrence of marker in
+// the fixture source, so the tests don't hardcode line numbers.
+func lineOf(t *testing.T, path, marker string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: marker %q not found", path, marker)
+	return 0
+}
+
+func TestSuppressionMatching(t *testing.T) {
+	const fixture = "testdata/suppress/fixture.go"
+	pkg, err := newLoader(t).LoadDir("testdata/suppress", "fixture/suppress")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Errs) > 0 {
+		t.Fatalf("fixture should load cleanly: %v", pkg.Errs)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{probe})
+
+	reported := map[int]string{}
+	var lintMsgs []string
+	for _, d := range diags {
+		switch d.Check {
+		case "probe":
+			reported[d.Line] = d.Message
+		case "lint":
+			lintMsgs = append(lintMsgs, d.Message)
+		default:
+			t.Errorf("unexpected check %q: %s", d.Check, d)
+		}
+	}
+
+	for _, tc := range []struct {
+		marker     string
+		suppressed bool
+		why        string
+	}{
+		{"x := 1", true, "standalone //lint:allow on the line above"},
+		{"y := 2", true, "trailing //lint:allow on the same line"},
+		{"z := 3", false, "no suppression at all"},
+		{"w := 4", false, "suppression names a different check"},
+		{"v := 5", false, "suppression missing its reason is void"},
+		{"u := 6", false, "suppression missing check and reason is void"},
+	} {
+		line := lineOf(t, fixture, tc.marker)
+		_, got := reported[line]
+		if got == tc.suppressed {
+			t.Errorf("%s (line %d): suppressed=%v, want %v (%s)",
+				tc.marker, line, !got, tc.suppressed, tc.why)
+		}
+	}
+
+	wantLint := []string{
+		"lint:allow probe needs a reason",
+		"lint:allow needs a check name and a reason",
+	}
+	for _, want := range wantLint {
+		found := false
+		for _, msg := range lintMsgs {
+			if msg == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing lint diagnostic %q (got %v)", want, lintMsgs)
+		}
+	}
+	if len(lintMsgs) != len(wantLint) {
+		t.Errorf("want %d lint diagnostics, got %v", len(wantLint), lintMsgs)
+	}
+}
+
+func TestLoaderDegradesOnParseError(t *testing.T) {
+	pkg, err := newLoader(t).LoadDir("testdata/broken", "fixture/broken")
+	if err != nil {
+		t.Fatalf("LoadDir must not fail outright on a broken package: %v", err)
+	}
+	if len(pkg.Errs) == 0 {
+		t.Fatal("want parse errors recorded in pkg.Errs")
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("want the parseable file to survive the broken sibling")
+	}
+	// The degraded package must still be analyzable: the probe walks
+	// whatever parsed without panicking, and the good file's contents
+	// are visible.
+	sawFine := false
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok && fd.Name.Name == "Fine" {
+				sawFine = true
+			}
+			return true
+		})
+	}
+	if !sawFine {
+		t.Error("good.go's Fine() should be visible in the degraded package")
+	}
+	_ = analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{probe})
+}
+
+func TestLoaderDegradesOnTypeError(t *testing.T) {
+	pkg, err := newLoader(t).LoadDir("testdata/typeerr", "fixture/typeerr")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.Errs) == 0 {
+		t.Fatal("want the type error recorded in pkg.Errs")
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("want the file parsed despite the type error, got %d files", len(pkg.Files))
+	}
+	// Analyzers must tolerate the partial type info.
+	_ = analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{probe})
+}
+
+func TestRunOrdersDiagnosticsDeterministically(t *testing.T) {
+	pkg, err := newLoader(t).LoadDir("testdata/suppress", "fixture/suppress")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{probe})
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package atest is the fixture harness for drevallint analyzers — the
+// repo's stdlib stand-in for golang.org/x/tools' analysistest. A
+// fixture is a directory of Go files annotated with
+//
+//	offending() // want "regexp matching the diagnostic"
+//
+// comments; Run loads the directory under a caller-chosen import path
+// (so path-scoped analyzers see the package they expect), applies the
+// analyzer plus the framework's //lint:allow filtering, and fails the
+// test on any unmatched want or unexpected diagnostic.
+package atest
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+
+	"drnet/internal/analysis"
+)
+
+// wantRE pulls the quoted patterns out of a `// want "a" "b"` comment.
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes the fixture directory as package asPath and asserts the
+// diagnostics exactly match the fixture's want comments.
+func Run(t *testing.T, dir, asPath string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	if len(pkg.Errs) > 0 {
+		t.Fatalf("fixture %s failed to load cleanly: %v", dir, pkg.Errs)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		ok := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants reads the want comments out of the already-parsed
+// fixture files, keyed by the position of the comment itself (want
+// comments trail the offending line).
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, q := range quotedRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: want pattern %q does not compile: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,42 @@
+package checks_test
+
+import (
+	"testing"
+
+	"drnet/internal/analysis/atest"
+	"drnet/internal/analysis/checks"
+)
+
+// Each fixture seeds the violations its analyzer exists to catch (plus
+// the idioms that must stay clean); atest fails the test if a seeded
+// violation goes unflagged or a clean idiom gets flagged.
+
+func TestNondetFixture(t *testing.T) {
+	atest.Run(t, "testdata/nondet", "fixture/internal/core", checks.Nondet)
+}
+
+func TestFloatHygieneFixture(t *testing.T) {
+	atest.Run(t, "testdata/floathygiene", "fixture/floats", checks.FloatHygiene)
+}
+
+func TestFloatHygieneExemptInMathx(t *testing.T) {
+	// The same fixture loaded as internal/mathx must produce only the
+	// goroutine-accumulation findings: the ==/!= rule is scoped out.
+	atest.Run(t, "testdata/floathygiene_mathx", "fixture/internal/mathx", checks.FloatHygiene)
+}
+
+func TestCtxDisciplineFixture(t *testing.T) {
+	atest.Run(t, "testdata/ctxdiscipline", "fixture/internal/core", checks.CtxDiscipline)
+}
+
+func TestCtxBackgroundFixture(t *testing.T) {
+	atest.Run(t, "testdata/ctxbackground", "fixture/cmd/drevald", checks.CtxDiscipline)
+}
+
+func TestObsHygieneFixture(t *testing.T) {
+	atest.Run(t, "testdata/obshygiene", "fixture/obshyg", checks.ObsHygiene)
+}
+
+func TestGoSafetyFixture(t *testing.T) {
+	atest.Run(t, "testdata/gosafety", "fixture/cmd/drevald", checks.GoSafety)
+}

@@ -1,0 +1,208 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"drnet/internal/analysis"
+)
+
+// ctxScope is where exported record-iterating entry points must accept
+// a context: the estimator core, the pool, and the resilience layer —
+// the packages whose loops drevald runs under a request deadline.
+var ctxScope = []string{"internal/core", "internal/parallel", "internal/resilience"}
+
+// CtxDiscipline enforces the cancellation contract from the resilience
+// layer: an exported function in internal/core, internal/parallel or
+// internal/resilience whose body does per-record work over a trace
+// (a range over []core.Record with non-trivial calls per iteration)
+// must take a context.Context, so a request deadline can cut the loop
+// short. It also flags context.Background() in drevald's request
+// paths, where the request context must be derived, never replaced.
+//
+// Single-pass arithmetic accessors (sums, validation) are exempt: a
+// loop whose body only does arithmetic, error construction or math/fmt
+// calls is bounded and cheap per record.
+var CtxDiscipline = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "exported trace-iterating funcs without a ctx parameter in " +
+		"core/parallel/resilience; context.Background in drevald request paths",
+	Run: runCtxDiscipline,
+}
+
+func runCtxDiscipline(pass *analysis.Pass) {
+	if pathHasSuffix(pass.Path, ctxScope...) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok {
+					checkExportedLoop(pass, fd)
+				}
+			}
+		}
+	}
+	if pathHasSuffix(pass.Path, "cmd/drevald") {
+		checkBackground(pass)
+	}
+}
+
+func checkExportedLoop(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || !fd.Name.IsExported() {
+		return
+	}
+	if recv := receiverTypeName(fd); recv != "" && !ast.IsExported(recv) {
+		return // method on an unexported type: not a public entry point
+	}
+	if hasCtxParam(pass.Info, fd) {
+		return
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Loops inside closures are executed by whoever receives
+			// the closure (typically the ctx-aware pool), not by this
+			// function's own control flow.
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !rangesOverRecords(pass.Info, rng) {
+			return true
+		}
+		if loopDoesWork(pass.Info, rng.Body) {
+			found = true
+			pass.Reportf(fd.Name.Pos(), "exported %s does per-record work over a trace but takes no context.Context; a request deadline cannot cancel it — add a ctx parameter (see the *Ctx estimator variants)", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[C]
+			t = x.X
+		case *ast.IndexListExpr: // generic receiver T[C, D]
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if n, ok := tv.Type.(*types.Named); ok && namedFrom(n, "context", "Context") {
+			return true
+		}
+	}
+	return false
+}
+
+// rangesOverRecords reports whether rng iterates a slice/array of
+// core.Record (which covers core.Trace, a named slice of Record).
+func rangesOverRecords(info *types.Info, rng *ast.RangeStmt) bool {
+	tv, ok := info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return false
+	}
+	n, _ := elem.(*types.Named)
+	return namedFrom(n, "internal/core", "Record")
+}
+
+// loopDoesWork reports whether the loop body makes calls beyond cheap
+// arithmetic plumbing (math.*, fmt error formatting, errors.*, and
+// builtins are exempt).
+func loopDoesWork(info *types.Info, body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil {
+			// Builtin, conversion, or unresolved func value. Builtins
+			// and conversions are cheap; an unresolved call is most
+			// likely a func-typed variable (model, policy) — work.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+						return true
+					}
+					if _, isVar := obj.(*types.Var); isVar {
+						work = true
+						return false
+					}
+				}
+			}
+			if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			return true
+		}
+		if pkg := f.Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "math", "fmt", "errors":
+				return true
+			}
+		}
+		work = true
+		return false
+	})
+	return work
+}
+
+// checkBackground flags context.Background()/TODO() in drevald outside
+// main/init: handlers and helpers must derive from the request ctx so
+// timeouts and client disconnects propagate.
+func checkBackground(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && (fd.Name.Name == "main" || fd.Name.Name == "init") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPkgCall(pass.Info, call, "context", "Background", "TODO") {
+					f := calleeFunc(pass.Info, call)
+					pass.Reportf(call.Pos(), "context.%s in a drevald request path discards the request's deadline and cancellation; derive from the incoming ctx", f.Name())
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"drnet/internal/analysis"
+)
+
+// GoSafety enforces two goroutine-safety invariants. In cmd/drevald, a
+// `go func` launch must open with a panic-recovery defer: the server's
+// panic middleware only guards handler goroutines, so a panic in a
+// hand-rolled goroutine kills the whole process mid-drain. Everywhere,
+// copying a struct that embeds sync/atomic state (by assignment, call
+// argument, range value, or value receiver) forks the lock from the
+// data it guards.
+var GoSafety = &analysis.Analyzer{
+	Name: "gosafety",
+	Doc: "go func in cmd/drevald without a leading recovery defer; " +
+		"copies of structs with sync/atomic fields",
+	Run: runGoSafety,
+}
+
+func runGoSafety(pass *analysis.Pass) {
+	checkGoLaunch := pathHasSuffix(pass.Path, "cmd/drevald")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkValueReceiver(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					if checkGoLaunch {
+						if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && !startsWithRecovery(pass.Info, lit) {
+							pass.Reportf(n.Pos(), "go func in cmd/drevald without a leading panic-recovery defer: a panic here bypasses the HTTP recovery middleware and kills the process; start the body with the recovery defer (see recoverGoroutine)")
+						}
+					}
+				case *ast.AssignStmt:
+					checkCopyAssign(pass, n)
+				case *ast.CallExpr:
+					checkCopyArgs(pass, n)
+				case *ast.RangeStmt:
+					checkCopyRange(pass, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// startsWithRecovery reports whether the goroutine body's first
+// statement is a defer that recovers — either `defer func() { ...
+// recover() ... }()` or a deferred call to a helper whose name says it
+// recovers (recoverGoroutine, RecoverPanic, ...).
+func startsWithRecovery(info *types.Info, lit *ast.FuncLit) bool {
+	if len(lit.Body.List) == 0 {
+		return false
+	}
+	def, ok := lit.Body.List[0].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(def.Call.Fun).(type) {
+	case *ast.FuncLit:
+		found := false
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isBuiltin(info, call, "recover") {
+				found = true
+			}
+			return !found
+		})
+		return found
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "recover")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "recover")
+	}
+	return false
+}
+
+func checkValueReceiver(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	t := fd.Recv.List[0].Type
+	if _, isPtr := t.(*ast.StarExpr); isPtr {
+		return
+	}
+	tv, ok := pass.Info.Types[t]
+	if !ok {
+		return
+	}
+	if name := lockFieldPath(tv.Type); name != "" {
+		pass.Reportf(fd.Recv.List[0].Pos(), "value receiver copies %s on every call; the method must use a pointer receiver so the synchronization state stays shared", name)
+	}
+}
+
+func checkCopyAssign(pass *analysis.Pass, asg *ast.AssignStmt) {
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return
+	}
+	for i, rhs := range asg.Rhs {
+		if !isLiveValue(rhs) {
+			continue
+		}
+		tv, ok := pass.Info.Types[rhs]
+		if !ok {
+			continue
+		}
+		if name := lockFieldPath(tv.Type); name != "" {
+			pass.Reportf(asg.Rhs[i].Pos(), "assignment copies a struct containing %s: the copy's lock no longer guards the original's data; keep a pointer", name)
+		}
+	}
+}
+
+func checkCopyArgs(pass *analysis.Pass, call *ast.CallExpr) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			if _, isB := obj.(*types.Builtin); isB {
+				return
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if !isLiveValue(arg) {
+			continue
+		}
+		tv, ok := pass.Info.Types[arg]
+		if !ok {
+			continue
+		}
+		if name := lockFieldPath(tv.Type); name != "" {
+			pass.Reportf(arg.Pos(), "call passes a struct containing %s by value; pass a pointer so the synchronization state stays shared", name)
+		}
+	}
+}
+
+func checkCopyRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	// A `:=` range variable is a definition: its type lives in Defs,
+	// not in the expression-type map.
+	var t types.Type
+	if tv, ok := pass.Info.Types[rng.Value]; ok {
+		t = tv.Type
+	} else if id, ok := rng.Value.(*ast.Ident); ok {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			t = obj.Type()
+		}
+	}
+	if t == nil {
+		return
+	}
+	if name := lockFieldPath(t); name != "" {
+		pass.Reportf(rng.Value.Pos(), "range value copies a struct containing %s each iteration; range over indices or a slice of pointers", name)
+	}
+}
+
+// isLiveValue reports whether expr denotes an existing value whose
+// copy would fork shared state: a variable, field, element or deref.
+// Fresh values (composite literals, call results, &x) pass.
+func isLiveValue(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		_ = e
+		return true
+	}
+	return false
+}
+
+// lockFieldPath returns a human-readable path to the first sync/atomic
+// component found in t ("sync.Mutex", "obs.Histogram.count"), or ""
+// when t carries no synchronization state. Pointers, slices, maps and
+// channels are references — copying them is fine — so recursion stops
+// there.
+func lockFieldPath(t types.Type) string {
+	return lockPath(t, map[types.Type]bool{}, 0)
+}
+
+func lockPath(t types.Type, seen map[types.Type]bool, depth int) string {
+	if t == nil || depth > 10 || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj != nil && obj.Pkg() != nil {
+			// Interface types from sync (sync.Locker) are references;
+			// only concrete sync/atomic types pin their address.
+			if _, isIface := n.Underlying().(*types.Interface); !isIface {
+				switch obj.Pkg().Path() {
+				case "sync", "sync/atomic":
+					return obj.Pkg().Name() + "." + obj.Name()
+				}
+			}
+		}
+		if inner := lockPath(t.Underlying(), seen, depth+1); inner != "" {
+			if obj := n.Obj(); obj != nil {
+				return obj.Name() + " (via " + inner + ")"
+			}
+			return inner
+		}
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if inner := lockPath(u.Field(i).Type(), seen, depth+1); inner != "" {
+				return inner
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen, depth+1)
+	}
+	return ""
+}

@@ -1,0 +1,28 @@
+// Fixture for ctxdiscipline's context.Background rule, loaded as
+// fixture/cmd/drevald so the request-path scope applies.
+package fixture
+
+import "context"
+
+func helper() context.Context {
+	return context.Background() // want "context.Background in a drevald request path"
+}
+
+func todoHelper() context.Context {
+	return context.TODO() // want "context.TODO in a drevald request path"
+}
+
+func derive(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx) // deriving from the caller: fine
+	cancel()
+	return c
+}
+
+func main() {
+	_ = context.Background() // main is process setup, exempt
+}
+
+func allowedDrain() context.Context {
+	//lint:allow ctxdiscipline shutdown drain has no request context
+	return context.Background()
+}

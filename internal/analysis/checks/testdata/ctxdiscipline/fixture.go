@@ -1,0 +1,93 @@
+// Fixture for ctxdiscipline's exported-loop rule, loaded as
+// fixture/internal/core. The local Record type satisfies the detector
+// because the fixture's package path ends in internal/core, mirroring
+// the real core.Record.
+package fixture
+
+import "context"
+
+// Record mirrors core.Record closely enough for the range detector.
+type Record struct {
+	Reward     float64
+	Propensity float64
+}
+
+// Trace is a named slice of Record, like core.Trace.
+type Trace []Record
+
+func work(x float64) float64 { return x * x }
+
+// Sum does per-record work without a ctx parameter.
+func Sum(t Trace) float64 { // want "exported Sum does per-record work over a trace but takes no context.Context"
+	s := 0.0
+	for _, rec := range t {
+		s += work(rec.Reward)
+	}
+	return s
+}
+
+// SumCtx is the compliant spelling.
+func SumCtx(ctx context.Context, t Trace) (float64, error) {
+	s := 0.0
+	for i, rec := range t {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		s += work(rec.Reward)
+	}
+	return s, nil
+}
+
+// Mean only does arithmetic per record: cheap loops are exempt.
+func Mean(t Trace) float64 {
+	s := 0.0
+	for _, rec := range t {
+		s += rec.Reward
+	}
+	return s / float64(len(t))
+}
+
+// Evaluator is an exported receiver, so its methods are entry points.
+type Evaluator struct{}
+
+func (Evaluator) Run(t Trace) float64 { // want "exported Run does per-record work"
+	s := 0.0
+	for _, rec := range t {
+		s += work(rec.Reward)
+	}
+	return s
+}
+
+// evaluator is unexported: its methods are not public entry points.
+type evaluator struct{}
+
+func (evaluator) Run(t Trace) float64 {
+	s := 0.0
+	for _, rec := range t {
+		s += work(rec.Reward)
+	}
+	return s
+}
+
+// sum is unexported and exempt.
+func sum(t Trace) float64 {
+	s := 0.0
+	for _, rec := range t {
+		s += work(rec.Reward)
+	}
+	return s
+}
+
+// Offload loops only inside a closure handed to a runner (the pool
+// pattern): the closure's executor owns cancellation.
+func Offload(t Trace, run func(func())) {
+	run(func() {
+		s := 0.0
+		for _, rec := range t {
+			s += work(rec.Reward)
+		}
+		_ = s
+	})
+}

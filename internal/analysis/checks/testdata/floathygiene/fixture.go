@@ -1,0 +1,55 @@
+// Fixture for the floathygiene analyzer, loaded under a path outside
+// internal/mathx and internal/parallel so both rules apply.
+package fixture
+
+func compareEq(a, b float64) bool {
+	return a == b // want "exact float == comparison outside internal/mathx"
+}
+
+func compareNeq(a, b float64) bool {
+	return a != b // want "exact float != comparison outside internal/mathx"
+}
+
+func zeroSentinel(a float64) bool {
+	return a == 0 // comparison against exact zero: allowed
+}
+
+func nanTest(a float64) bool {
+	return a != a // want "NaN test; spell it math.IsNaN"
+}
+
+func constantFold() bool {
+	return 0.25+0.5 == 0.75 // both sides constant: folded exactly
+}
+
+func intCompare(a, b int) bool {
+	return a == b // integers: not float hygiene's business
+}
+
+func goroutineAccum(vals []float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		for _, v := range vals {
+			total += v // want "float accumulated into captured total inside a goroutine"
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+func goroutineLocalAccum(vals []float64, out chan<- float64) {
+	go func() {
+		local := 0.0
+		for _, v := range vals {
+			local += v // accumulator owned by the goroutine: fine
+		}
+		out <- local
+	}()
+}
+
+func allowedExact(a, b float64) bool {
+	//lint:allow floathygiene grid values are exact binary fractions
+	return a == b
+}

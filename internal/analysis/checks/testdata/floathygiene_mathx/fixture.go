@@ -1,0 +1,21 @@
+// The floathygiene fixture's scope counterpart: loaded as
+// fixture/internal/mathx, where exact comparisons are the package's
+// job and must not be flagged — but goroutine accumulation still is.
+package fixture
+
+func compareEq(a, b float64) bool {
+	return a == b // inside mathx: the comparison helpers live here
+}
+
+func goroutineAccum(vals []float64) float64 {
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		for _, v := range vals {
+			total += v // want "float accumulated into captured total inside a goroutine"
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}

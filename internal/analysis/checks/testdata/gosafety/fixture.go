@@ -1,0 +1,61 @@
+// Fixture for the gosafety analyzer, loaded as fixture/cmd/drevald so
+// the goroutine-launch rule applies alongside the copylocks rule.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func launches() {
+	go func() { // want "go func in cmd/drevald without a leading panic-recovery defer"
+		_ = 1 + 1
+	}()
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		_ = 2 + 2
+	}()
+	go func() {
+		defer recoverGoroutine("worker")
+		_ = 3 + 3
+	}()
+	go named() // non-literal launches are the callee's responsibility
+}
+
+func named() {}
+
+func recoverGoroutine(string) { _ = recover() }
+
+func (g guarded) Bad() int { // want "value receiver copies .*sync.Mutex.* on every call"
+	return g.n
+}
+
+func (g *guarded) Good() int { return g.n }
+
+func copies(g guarded, list []guarded, ptrs []*guarded) int {
+	x := g  // want "assignment copies a struct containing .*sync.Mutex"
+	use(x)  // want "passes a struct containing .*sync.Mutex.* by value"
+	use2(&g) // passing a pointer: fine
+	total := 0
+	for _, item := range list { // want "range value copies a struct containing .*sync.Mutex"
+		total += item.n
+	}
+	for _, p := range ptrs { // pointers share state: fine
+		total += p.n
+	}
+	fresh := guarded{} // composite literal is a fresh value: fine
+	return total + fresh.n
+}
+
+func use(guarded)   {}
+func use2(*guarded) {}
+
+func allowedCopy(g guarded) {
+	//lint:allow gosafety snapshot taken before the struct is ever shared
+	x := g
+	_ = x.n
+}

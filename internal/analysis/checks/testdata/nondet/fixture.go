@@ -1,0 +1,68 @@
+// Fixture for the nondet analyzer, loaded as fixture/internal/core so
+// the scope rule treats it as a deterministic package.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func sumMap(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation into total inside a map-range loop"
+	}
+	return total
+}
+
+func sumMapSpelledOut(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation into total inside a map-range loop"
+	}
+	return total
+}
+
+func perKeyWrite(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2 // keyed by the range variable: order-independent
+	}
+	return out
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside a map-range loop"
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted right after the loop: canonical fix
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printLoop(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "output written inside a map-range loop"
+	}
+}
+
+func globalRandAndClock() {
+	_ = rand.Intn(10)               // want "global math/rand.Intn"
+	_ = rand.New(rand.NewSource(1)) // explicit seeded source: fine
+	_ = time.Now()                  // want "time.Now in a deterministic package"
+}
+
+func allowedClock() time.Time {
+	//lint:allow nondet this helper reports wall time on purpose
+	return time.Now()
+}

@@ -1,0 +1,191 @@
+// Package checks holds the five domain analyzers drevallint ships:
+// nondet, floathygiene, ctxdiscipline, obshygiene and gosafety. Each
+// one mechanizes an invariant the repo otherwise enforces only through
+// tests and review — see the Doc string on each Analyzer for the
+// mapping from check to invariant.
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"drnet/internal/analysis"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Nondet, FloatHygiene, CtxDiscipline, ObsHygiene, GoSafety}
+}
+
+// pathHasSuffix reports whether the package path matches one of the
+// given module-relative suffixes (e.g. "internal/core"). Matching by
+// suffix instead of full path keeps the analyzers correct under both
+// the real module path and the synthetic paths fixtures load under.
+func pathHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isFloat reports whether t's core type is float32 or float64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes (package
+// function or method), or nil for builtins, conversions, func-typed
+// variables and calls the type checker could not resolve.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			f, _ := info.Uses[id].(*types.Func)
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes a package-level function of
+// the package with import path pkgPath named one of names (all names
+// match when names is empty).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// methodRecv returns the receiver's named type for a method call
+// expression, dereferencing one pointer level, or nil when call is not
+// a resolved method call.
+func methodRecv(info *types.Info, call *ast.CallExpr) (*types.Named, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	t := s.Recv()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n, sel.Sel.Name
+}
+
+// namedFrom reports whether n is the named type name declared in a
+// package whose path matches pkgSuffix.
+func namedFrom(n *types.Named, pkgSuffix, name string) bool {
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// declaredOutside reports whether the object behind expr's root
+// identifier was declared outside the [lo, hi] node range — i.e. the
+// expression refers to state that outlives the loop or closure being
+// inspected. Unresolvable expressions conservatively return false.
+func declaredOutside(info *types.Info, expr ast.Expr, lo, hi token.Pos) bool {
+	id := rootIdent(expr)
+	if id == nil {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil || obj.Pos() == token.NoPos {
+		return false
+	}
+	return obj.Pos() < lo || obj.Pos() > hi
+}
+
+// rootIdent unwraps selectors, indexes, derefs and parens down to the
+// base identifier, e.g. (*s.buf[i]).n → s.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// constStringArg returns the compile-time string value of call
+// argument i, if the type checker resolved one (literal or constant).
+func constStringArg(info *types.Info, call *ast.CallExpr, i int) (string, bool) {
+	if i >= len(call.Args) {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[i]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isZeroConst reports whether expr is a compile-time constant equal to
+// exactly zero.
+func isZeroConst(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// isConst reports whether expr has a compile-time constant value.
+func isConst(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,143 @@
+package lintmain_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"drnet/internal/analysis/lintmain"
+)
+
+// Explicit patterns resolve against the module root, so the fixture
+// dirs are named by their full repo-relative path.
+const (
+	cleanPat    = "./internal/analysis/lintmain/testdata/clean"
+	findingsPat = "./internal/analysis/lintmain/testdata/findings"
+	brokenPat   = "./internal/analysis/lintmain/testdata/broken"
+)
+
+func run(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = lintmain.Run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestExitCleanOnCleanPackage(t *testing.T) {
+	code, stdout, stderr := run(t, cleanPat)
+	if code != lintmain.ExitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, lintmain.ExitClean, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "packages clean") {
+		t.Errorf("stdout should report a clean run, got: %s", stdout)
+	}
+}
+
+func TestExitFindingsOnViolation(t *testing.T) {
+	code, stdout, stderr := run(t, findingsPat)
+	if code != lintmain.ExitFindings {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, lintmain.ExitFindings, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "gosafety") {
+		t.Errorf("the mutex copy should surface as a gosafety finding, got: %s", stdout)
+	}
+	if !strings.Contains(stderr, "1 findings, 0 load errors") {
+		t.Errorf("stderr summary missing, got: %s", stderr)
+	}
+}
+
+func TestExitLoadErrorOnBrokenPackage(t *testing.T) {
+	code, _, stderr := run(t, brokenPat)
+	if code != lintmain.ExitLoadError {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, lintmain.ExitLoadError, stderr)
+	}
+	if !strings.Contains(stderr, "load") {
+		t.Errorf("stderr should carry the load error, got: %s", stderr)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, stdout, _ := run(t, "-json", findingsPat)
+	if code != lintmain.ExitFindings {
+		t.Fatalf("exit = %d, want %d", code, lintmain.ExitFindings)
+	}
+	var got struct {
+		Findings []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		LoadErrors []json.RawMessage `json:"loadErrors"`
+		Exit       int               `json:"exit"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if got.Exit != lintmain.ExitFindings {
+		t.Errorf("json exit = %d, want %d", got.Exit, lintmain.ExitFindings)
+	}
+	if len(got.Findings) == 0 {
+		t.Fatal("json findings empty; want the gosafety diagnostic")
+	}
+	f := got.Findings[0]
+	if f.Check != "gosafety" || f.Line == 0 || !strings.HasSuffix(f.File, "bad.go") {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+	if got.LoadErrors == nil {
+		t.Error("loadErrors must serialize as [] rather than null")
+	}
+}
+
+func TestJSONCleanRun(t *testing.T) {
+	code, stdout, _ := run(t, "-json", cleanPat)
+	if code != lintmain.ExitClean {
+		t.Fatalf("exit = %d, want %d", code, lintmain.ExitClean)
+	}
+	var got struct {
+		Findings []json.RawMessage `json:"findings"`
+		Exit     int               `json:"exit"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout)
+	}
+	if got.Findings == nil {
+		t.Error("findings must serialize as [] rather than null")
+	}
+	if got.Exit != lintmain.ExitClean {
+		t.Errorf("json exit = %d, want 0", got.Exit)
+	}
+}
+
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	code, stdout, _ := run(t, "-list")
+	if code != lintmain.ExitClean {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"nondet", "floathygiene", "ctxdiscipline", "obshygiene", "gosafety"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list missing analyzer %q:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestUnknownCheckIsLoadError(t *testing.T) {
+	code, _, stderr := run(t, "-checks", "nosuchcheck", cleanPat)
+	if code != lintmain.ExitLoadError {
+		t.Fatalf("exit = %d, want %d", code, lintmain.ExitLoadError)
+	}
+	if !strings.Contains(stderr, "unknown check") {
+		t.Errorf("stderr should name the unknown check, got: %s", stderr)
+	}
+}
+
+func TestChecksSubsetSkipsOtherAnalyzers(t *testing.T) {
+	// With only nondet selected, the gosafety violation in the findings
+	// fixture must not be reported.
+	code, stdout, stderr := run(t, "-checks", "nondet", findingsPat)
+	if code != lintmain.ExitClean {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, lintmain.ExitClean, stdout, stderr)
+	}
+}

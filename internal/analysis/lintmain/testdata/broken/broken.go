@@ -1,0 +1,4 @@
+// A package that fails to parse: the exit-code contract's 2 case.
+package broken
+
+func unfinished( {

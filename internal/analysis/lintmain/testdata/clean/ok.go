@@ -1,0 +1,5 @@
+// A package with nothing to report: the exit-code contract's 0 case.
+package clean
+
+// OK returns a constant.
+func OK() int { return 1 }

@@ -1,0 +1,16 @@
+// A package with one deliberate gosafety violation (a mutex-bearing
+// struct copied by value): the exit-code contract's 1 case.
+package findings
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Fork copies g, forking the lock from the state it guards.
+func Fork(g *guarded) int {
+	snapshot := *g
+	return snapshot.n
+}

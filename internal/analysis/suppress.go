@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// suppressions maps file → line → set of allowed check names. A
+// //lint:allow comment covers its own line (trailing form) and the
+// line directly below it (standalone form above the flagged code).
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans every comment in the package for
+//
+//	//lint:allow <check> <reason>
+//
+// entries. A missing check name or missing reason is itself a finding
+// (check "lint"): a suppression that doesn't say what it allows, or
+// why, defeats the audit trail the mechanism exists to provide.
+func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
+	sup := suppressions{}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					diags = append(diags, lintDiag(pos, "lint:allow needs a check name and a reason"))
+					continue
+				}
+				if len(fields) < 2 {
+					diags = append(diags, lintDiag(pos, "lint:allow "+fields[0]+" needs a reason"))
+					continue
+				}
+				check := fields[0]
+				m := sup[pos.Filename]
+				if m == nil {
+					m = map[int]map[string]bool{}
+					sup[pos.Filename] = m
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if m[line] == nil {
+						m[line] = map[string]bool{}
+					}
+					m[line][check] = true
+				}
+			}
+		}
+	}
+	return sup, diags
+}
+
+func lintDiag(pos token.Position, msg string) Diagnostic {
+	return Diagnostic{Pos: pos, Check: "lint", Message: msg}
+}
+
+// allows reports whether d is covered by a suppression for its check
+// on its line.
+func (s suppressions) allows(d Diagnostic) bool {
+	m := s[d.Pos.Filename]
+	if m == nil {
+		return false
+	}
+	return m[d.Pos.Line][d.Check]
+}

@@ -1,0 +1,5 @@
+// This file deliberately fails to parse: the loader must degrade to
+// the files that do parse instead of crashing or hiding the package.
+package broken
+
+func unfinished( {

@@ -1,0 +1,4 @@
+package broken
+
+// Fine returns a constant; it must survive the sibling parse failure.
+func Fine() int { return 42 }

@@ -1,0 +1,37 @@
+// Fixture for suppression matching. The test's probe analyzer reports
+// one diagnostic per := statement under the check name "probe".
+package fixture
+
+func standalone() {
+	//lint:allow probe checked by hand
+	x := 1
+	_ = x
+}
+
+func trailing() {
+	y := 2 //lint:allow probe measured exhaustively
+	_ = y
+}
+
+func unsuppressed() {
+	z := 3
+	_ = z
+}
+
+func wrongCheck() {
+	//lint:allow othercheck reason does not transfer across checks
+	w := 4
+	_ = w
+}
+
+func missingReason() {
+	//lint:allow probe
+	v := 5
+	_ = v
+}
+
+func missingEverything() {
+	//lint:allow
+	u := 6
+	_ = u
+}

@@ -1,0 +1,7 @@
+// This file parses but does not type-check: the loader must surface
+// the type error in Errs while keeping the AST analyzable.
+package typeerr
+
+func Uses() int {
+	return undefinedIdentifier + 1
+}

@@ -115,6 +115,14 @@ type Interval struct {
 // Resamples on which the estimator fails (e.g. no matched records) are
 // skipped; if every resample fails, the last error is returned.
 func Bootstrap[C any, D comparable](t Trace[C, D], est Estimator[C, D], rng *mathx.RNG, b int, level float64) (Interval, error) {
+	return BootstrapCtx(context.Background(), t, est, rng, b, level)
+}
+
+// BootstrapCtx is Bootstrap with cooperative cancellation: ctx is
+// checked before each resample, so a cancelled ctx stops the run at the
+// next resample boundary and returns ctx's error. An un-cancelled ctx
+// yields the same interval as Bootstrap for the same rng stream.
+func BootstrapCtx[C any, D comparable](ctx context.Context, t Trace[C, D], est Estimator[C, D], rng *mathx.RNG, b int, level float64) (Interval, error) {
 	if len(t) == 0 {
 		return Interval{}, ErrEmptyTrace
 	}
@@ -128,6 +136,9 @@ func Bootstrap[C any, D comparable](t Trace[C, D], est Estimator[C, D], rng *mat
 	var lastErr error
 	resample := make(Trace[C, D], len(t))
 	for i := 0; i < b; i++ {
+		if err := ctx.Err(); err != nil {
+			return Interval{}, err
+		}
 		for j := range resample {
 			resample[j] = t[rng.Intn(len(t))]
 		}

@@ -256,11 +256,23 @@ func DoublyRobustCtx[C any, D comparable](ctx context.Context, t Trace[C, D], ne
 // It returns the number of matched records in Estimate.N. When no record
 // matches, it returns ErrNoMatches.
 func MatchedRewards[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D]) (Estimate, error) {
+	return MatchedRewardsCtx(context.Background(), t, newPolicy)
+}
+
+// MatchedRewardsCtx is MatchedRewards with cooperative cancellation:
+// ctx is checked once per chunk of records, so a cancelled ctx stops
+// the scan within one chunk boundary and returns ctx's error.
+func MatchedRewardsCtx[C any, D comparable](ctx context.Context, t Trace[C, D], newPolicy Policy[C, D]) (Estimate, error) {
 	if len(t) == 0 {
 		return Estimate{}, ErrEmptyTrace
 	}
 	var matched []float64
-	for _, rec := range t {
+	for i, rec := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return Estimate{}, err
+			}
+		}
 		if argmax(newPolicy.Distribution(rec.Context)) == rec.Decision {
 			matched = append(matched, rec.Reward)
 		}

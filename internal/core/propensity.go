@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -9,7 +10,20 @@ import (
 // to a logged decision, which would make the trace inconsistent with the
 // claimed logging policy.
 func AttachPropensities[C any, D comparable](t Trace[C, D], oldPolicy Policy[C, D]) error {
+	return AttachPropensitiesCtx(context.Background(), t, oldPolicy)
+}
+
+// AttachPropensitiesCtx is AttachPropensities with cooperative
+// cancellation: ctx is checked once per chunk of records, so a
+// cancelled ctx stops the fill within one chunk boundary (already
+// filled records keep their propensities) and returns ctx's error.
+func AttachPropensitiesCtx[C any, D comparable](ctx context.Context, t Trace[C, D], oldPolicy Policy[C, D]) error {
 	for i := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		p := Prob(oldPolicy, t[i].Context, t[i].Decision)
 		if p <= 0 {
 			return fmt.Errorf("core: record %d: old policy assigns probability 0 to logged decision %v", i, t[i].Decision)
@@ -28,6 +42,15 @@ func AttachPropensities[C any, D comparable](t Trace[C, D], oldPolicy Policy[C, 
 // fall back to the marginal decision frequencies. Estimated propensities
 // are floored at floor to keep importance weights finite.
 func EstimatePropensities[C any, D comparable](t Trace[C, D], key func(c C) string, minCount int, floor float64) error {
+	return EstimatePropensitiesCtx(context.Background(), t, key, minCount, floor)
+}
+
+// EstimatePropensitiesCtx is EstimatePropensities with cooperative
+// cancellation: ctx is checked once per chunk of records in both the
+// counting and the fill pass, so a cancelled ctx stops within one chunk
+// boundary and returns ctx's error (the trace may then be partially
+// filled).
+func EstimatePropensitiesCtx[C any, D comparable](ctx context.Context, t Trace[C, D], key func(c C) string, minCount int, floor float64) error {
 	if floor <= 0 {
 		floor = 1e-4
 	}
@@ -40,7 +63,12 @@ func EstimatePropensities[C any, D comparable](t Trace[C, D], key func(c C) stri
 	}
 	groups := make(map[string]*group)
 	marginal := &group{counts: make(map[D]int)}
-	for _, rec := range t {
+	for i, rec := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		k := key(rec.Context)
 		g, ok := groups[k]
 		if !ok {
@@ -56,6 +84,11 @@ func EstimatePropensities[C any, D comparable](t Trace[C, D], key func(c C) stri
 		return ErrEmptyTrace
 	}
 	for i := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		g := groups[key(t[i].Context)]
 		if g.total < minCount {
 			g = marginal

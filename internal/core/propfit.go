@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -20,6 +21,15 @@ import (
 // and the per-decision models are returned so callers can inspect or
 // reuse them.
 func FitPropensityModel[C any, D comparable](t Trace[C, D], featurize func(C) []float64, lambda, floor float64) (map[D]*mathx.LogisticModel, error) {
+	return FitPropensityModelCtx(context.Background(), t, featurize, lambda, floor)
+}
+
+// FitPropensityModelCtx is FitPropensityModel with cooperative
+// cancellation: ctx is checked before each per-decision logistic fit
+// (the expensive unit) and once per chunk of records in the scan and
+// normalization passes. A cancelled ctx returns ctx's error; the trace
+// may then be partially normalized.
+func FitPropensityModelCtx[C any, D comparable](ctx context.Context, t Trace[C, D], featurize func(C) []float64, lambda, floor float64) (map[D]*mathx.LogisticModel, error) {
 	if len(t) == 0 {
 		return nil, ErrEmptyTrace
 	}
@@ -32,7 +42,12 @@ func FitPropensityModel[C any, D comparable](t Trace[C, D], featurize func(C) []
 	// Enumerate decisions.
 	decisions := make([]D, 0, 8)
 	seen := make(map[D]bool)
-	for _, rec := range t {
+	for i, rec := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if !seen[rec.Decision] {
 			seen[rec.Decision] = true
 			decisions = append(decisions, rec.Decision)
@@ -49,6 +64,9 @@ func FitPropensityModel[C any, D comparable](t Trace[C, D], featurize func(C) []
 	// One-vs-rest logistic models.
 	models := make(map[D]*mathx.LogisticModel, len(decisions))
 	for _, d := range decisions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		y := make([]float64, len(t))
 		for i, rec := range t {
 			if rec.Decision == d {
@@ -63,6 +81,11 @@ func FitPropensityModel[C any, D comparable](t Trace[C, D], featurize func(C) []
 	}
 	// Normalize the one-vs-rest scores into propensities per record.
 	for i := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		total := 0.0
 		scores := make(map[D]float64, len(decisions))
 		for _, d := range decisions {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"drnet/internal/mathx"
 )
 
@@ -59,6 +61,15 @@ type ReplayResult struct {
 // expectation with DoublyRobust, which TestReplayMatchesDRStationary
 // verifies.
 func ReplayDR[C any, D comparable](t Trace[C, D], newPolicy HistoryPolicy[C, D], model RewardModel[C, D], rng *mathx.RNG) (ReplayResult, error) {
+	return ReplayDRCtx(context.Background(), t, newPolicy, model, rng)
+}
+
+// ReplayDRCtx is ReplayDR with cooperative cancellation. The replayer
+// is inherently sequential (each record's distribution depends on the
+// history accepted so far), so ctx is checked once per chunk of
+// records; a cancelled ctx stops the replay within one chunk boundary
+// and returns ctx's error.
+func ReplayDRCtx[C any, D comparable](ctx context.Context, t Trace[C, D], newPolicy HistoryPolicy[C, D], model RewardModel[C, D], rng *mathx.RNG) (ReplayResult, error) {
 	if len(t) == 0 {
 		return ReplayResult{}, ErrEmptyTrace
 	}
@@ -69,7 +80,12 @@ func ReplayDR[C any, D comparable](t Trace[C, D], newPolicy HistoryPolicy[C, D],
 	var contrib []float64
 	var weights []float64
 	maxW := 0.0
-	for _, rec := range t {
+	for k, rec := range t {
+		if k%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return ReplayResult{}, err
+			}
+		}
 		dist := newPolicy.DistributionWithHistory(accepted, rec.Context)
 		if err := ValidateDistribution(dist); err != nil {
 			return ReplayResult{}, err

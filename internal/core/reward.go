@@ -1,5 +1,7 @@
 package core
 
+import "context"
+
 // RewardModel predicts the reward r̂(c, d) of taking decision d for
 // context c. It is the ingredient of the Direct Method and the control
 // variate inside the Doubly Robust estimator.
@@ -44,9 +46,23 @@ func (m *TableModel[C, D]) Predict(c C, d D) float64 {
 // FitTable estimates a TableModel from a trace by averaging rewards that
 // share a key. The default for unseen keys is the global mean reward.
 func FitTable[C any, D comparable](t Trace[C, D], key func(c C, d D) string) *TableModel[C, D] {
+	// Background never cancels, so the error branch is unreachable.
+	m, _ := FitTableCtx(context.Background(), t, key)
+	return m
+}
+
+// FitTableCtx is FitTable with cooperative cancellation: ctx is checked
+// once per chunk of records, so a cancelled ctx stops the fit within
+// one chunk boundary and returns ctx's error instead of a model.
+func FitTableCtx[C any, D comparable](ctx context.Context, t Trace[C, D], key func(c C, d D) string) (*TableModel[C, D], error) {
 	sums := make(map[string]float64)
 	counts := make(map[string]int)
-	for _, rec := range t {
+	for i, rec := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		k := key(rec.Context, rec.Decision)
 		sums[k] += rec.Reward
 		counts[k]++
@@ -55,5 +71,5 @@ func FitTable[C any, D comparable](t Trace[C, D], key func(c C, d D) string) *Ta
 	for k, s := range sums {
 		vals[k] = s / float64(counts[k])
 	}
-	return &TableModel[C, D]{Key: key, Values: vals, Default: t.MeanReward()}
+	return &TableModel[C, D]{Key: key, Values: vals, Default: t.MeanReward()}, nil
 }

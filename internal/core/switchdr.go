@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -29,6 +30,14 @@ type SwitchOptions struct {
 // regime) this is often the better bias/variance point; the ablation
 // bench BenchmarkAblationSwitchVsClip compares the two.
 func SwitchDR[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts SwitchOptions) (Estimate, error) {
+	return SwitchDRCtx(context.Background(), t, newPolicy, model, opts)
+}
+
+// SwitchDRCtx is SwitchDR with cooperative cancellation: ctx is checked
+// once per chunk of records in both the weight and the contribution
+// pass, so a cancelled ctx stops the estimate within one chunk boundary
+// and returns ctx's error.
+func SwitchDRCtx[C any, D comparable](ctx context.Context, t Trace[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts SwitchOptions) (Estimate, error) {
 	if len(t) == 0 {
 		return Estimate{}, ErrEmptyTrace
 	}
@@ -38,6 +47,11 @@ func SwitchDR[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], model 
 	n := len(t)
 	weights := make([]float64, n)
 	for i, rec := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return Estimate{}, err
+			}
+		}
 		weights[i] = Prob(newPolicy, rec.Context, rec.Decision) / rec.Propensity
 	}
 	tau := opts.Tau
@@ -47,6 +61,11 @@ func SwitchDR[C any, D comparable](t Trace[C, D], newPolicy Policy[C, D], model 
 	contrib := make([]float64, n)
 	maxW, kept := 0.0, make([]float64, 0, n)
 	for i, rec := range t {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return Estimate{}, err
+			}
+		}
 		dist := newPolicy.Distribution(rec.Context)
 		if err := ValidateDistribution(dist); err != nil {
 			return Estimate{}, err

@@ -60,7 +60,7 @@ func (t Trace[C, D]) Validate() error {
 		if !(rec.Propensity > 0) || rec.Propensity > 1 {
 			return fmt.Errorf("core: record %d has propensity %g, want (0,1]", i, rec.Propensity)
 		}
-		if rec.Reward != rec.Reward { // NaN
+		if math.IsNaN(rec.Reward) {
 			return fmt.Errorf("core: record %d has NaN reward", i)
 		}
 		if math.IsInf(rec.Reward, 0) {

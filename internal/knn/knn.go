@@ -43,6 +43,7 @@ func Manhattan(a, b []float64) float64 {
 func Hamming(a, b []float64) float64 {
 	n := 0.0
 	for i := range a {
+		//lint:allow floathygiene Hamming is defined by exact equality of integer-encoded categories
 		if a[i] != b[i] {
 			n++
 		}
@@ -218,6 +219,7 @@ func isStdMetric(m Metric) bool {
 	probeA := []float64{0, 0}
 	probeB := []float64{3, 4}
 	d := m(probeA, probeB)
+	//lint:allow floathygiene probe distances 5 (3-4-5 triangle) and 7 (3+4) are exactly representable
 	return d == 5 || d == 7 // Euclidean or Manhattan signature
 }
 

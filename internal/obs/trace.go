@@ -246,6 +246,7 @@ func (tr *TraceRecorder) Slowest(n int) []Timeline {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//lint:allow floathygiene sort tie-break wants exact inequality; an epsilon would destabilize the order
 		if out[i].DurationMs != out[j].DurationMs {
 			return out[i].DurationMs > out[j].DurationMs
 		}

@@ -15,23 +15,23 @@ import (
 // reorder work or touch the sharded RNG streams — determinism is
 // untouched.
 var (
-	poolTasks       = obs.Default.Counter("parallel_pool_tasks_total")
-	poolTaskSeconds = obs.Default.Histogram("parallel_pool_task_seconds", obs.TimeBuckets)
-	poolActive      = obs.Default.Gauge("parallel_pool_active_workers")
-	poolQueue       = obs.Default.Gauge("parallel_pool_queue_depth")
-	poolWorkers     = obs.Default.Gauge("parallel_pool_default_workers")
-	poolCancelled   = obs.Default.Counter("parallel_pool_cancelled_chunks_total")
-	poolPanics      = obs.Default.Counter("parallel_pool_panics_total")
+	poolTasks       = obs.Default.Counter("obs_pool_tasks_total")
+	poolTaskSeconds = obs.Default.Histogram("obs_pool_task_seconds", obs.TimeBuckets)
+	poolActive      = obs.Default.Gauge("obs_pool_active_workers")
+	poolQueue       = obs.Default.Gauge("obs_pool_queue_depth")
+	poolWorkers     = obs.Default.Gauge("obs_pool_default_workers")
+	poolCancelled   = obs.Default.Counter("obs_pool_cancelled_chunks_total")
+	poolPanics      = obs.Default.Counter("obs_pool_panics_total")
 )
 
 func init() {
-	obs.Default.Help("parallel_pool_tasks_total", "Chunks executed by the shared worker pool.")
-	obs.Default.Help("parallel_pool_task_seconds", "Per-chunk execution time on the worker pool.")
-	obs.Default.Help("parallel_pool_active_workers", "Worker goroutines currently running pool chunks.")
-	obs.Default.Help("parallel_pool_queue_depth", "Chunks dispatched but not yet claimed by a worker.")
-	obs.Default.Help("parallel_pool_default_workers", "Configured default worker count (SetDefaultWorkers; 0 resolves to GOMAXPROCS).")
-	obs.Default.Help("parallel_pool_cancelled_chunks_total", "Chunks skipped because their dispatch's context was cancelled.")
-	obs.Default.Help("parallel_pool_panics_total", "Panics recovered inside pool tasks and converted to task errors.")
+	obs.Default.Help("obs_pool_tasks_total", "Chunks executed by the shared worker pool.")
+	obs.Default.Help("obs_pool_task_seconds", "Per-chunk execution time on the worker pool.")
+	obs.Default.Help("obs_pool_active_workers", "Worker goroutines currently running pool chunks.")
+	obs.Default.Help("obs_pool_queue_depth", "Chunks dispatched but not yet claimed by a worker.")
+	obs.Default.Help("obs_pool_default_workers", "Configured default worker count (SetDefaultWorkers; 0 resolves to GOMAXPROCS).")
+	obs.Default.Help("obs_pool_cancelled_chunks_total", "Chunks skipped because their dispatch's context was cancelled.")
+	obs.Default.Help("obs_pool_panics_total", "Panics recovered inside pool tasks and converted to task errors.")
 	poolWorkers.Set(float64(DefaultWorkers()))
 }
 

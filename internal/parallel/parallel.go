@@ -78,7 +78,7 @@ func ForEach(n, workers, grain int, fn func(lo, hi int) error) error {
 // no new chunk is claimed — already-running chunks finish (fn is never
 // interrupted mid-chunk), so cancellation takes effect within one task
 // boundary. Chunks skipped because of cancellation are counted in the
-// parallel_pool_cancelled_chunks_total metric.
+// obs_pool_cancelled_chunks_total metric.
 //
 // When chunks were skipped due to cancellation and no chunk failed,
 // ForEachCtx returns ctx.Err(). A dispatch whose chunks all completed

@@ -11,6 +11,7 @@ package worldstate
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"drnet/internal/core"
 	"drnet/internal/mathx"
@@ -60,10 +61,19 @@ func FitAffine(source, target []Sample) (Transition, error) {
 	if err != nil {
 		return Transition{}, fmt.Errorf("worldstate: target: %w", err)
 	}
+	// Iterate groups in sorted order: map order is randomized per run,
+	// and the float accumulations inside Ridge are order-sensitive, so
+	// an unsorted walk would make the fitted transition differ at the
+	// bit level between runs.
+	groups := make([]string, 0, len(srcMeans))
+	for g := range srcMeans {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
 	var xs, ys []float64
-	for g, sm := range srcMeans {
+	for _, g := range groups {
 		if tm, ok := tgtMeans[g]; ok {
-			xs = append(xs, sm)
+			xs = append(xs, srcMeans[g])
 			ys = append(ys, tm)
 		}
 	}

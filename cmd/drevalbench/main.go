@@ -63,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		thDrop    = fs.Float64("max-throughput-drop", benchkit.DefaultThresholds().MaxThroughputDrop, "regression threshold: fractional ops/s drop vs baseline")
 		thLat     = fs.Float64("max-latency-growth", benchkit.DefaultThresholds().MaxLatencyGrowth, "regression threshold: fractional p95 growth vs baseline")
 		thAlloc   = fs.Float64("max-alloc-growth", benchkit.DefaultThresholds().MaxAllocGrowth, "regression threshold: fractional allocs/op growth vs baseline")
+		thMinP50  = fs.Float64("min-reliable-p50-ms", benchkit.DefaultThresholds().MinReliableP50Ms, "skip throughput/latency checks for cells whose p50 is below this on both sides (allocs always checked); 0 disables")
 		server    = fs.String("server", "", "base URL of a live drevald for the HTTP loadgen leg (\"\" skips it)")
 		httpReqs  = fs.Int("http-requests", 100, "loadgen request count")
 		httpConc  = fs.Int("http-concurrency", 8, "loadgen concurrent clients")
@@ -193,6 +194,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				MaxThroughputDrop: *thDrop,
 				MaxLatencyGrowth:  *thLat,
 				MaxAllocGrowth:    *thAlloc,
+				MinReliableP50Ms:  *thMinP50,
 			}
 			regs := benchkit.Diff(rep, base, th)
 			if len(regs) == 0 {

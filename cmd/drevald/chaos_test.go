@@ -58,8 +58,10 @@ func TestChaosCancelMidBootstrap(t *testing.T) {
 	srv := httptest.NewServer(newMux())
 	defer srv.Close()
 
+	// A large trace keeps the columnar bootstrap busy for seconds, so
+	// the cancel lands mid-flight rather than after completion.
 	body, err := json.Marshal(evalRequest{
-		Trace:   testTraceJSON(t, false),
+		Trace:   testTraceJSONSized(t, false, 60000),
 		Policy:  "constant:c",
 		Options: evalOptions{Bootstrap: maxBootstrapResamples, Seed: 5},
 	})
@@ -68,8 +70,10 @@ func TestChaosCancelMidBootstrap(t *testing.T) {
 	}
 
 	cancelled := obs.Default.Counter("obs_pool_cancelled_chunks_total")
+	executed := obs.Default.Counter("obs_pool_tasks_total")
 	inFlight := obs.Default.Gauge("drevald_http_in_flight", obs.L("route", "/evaluate"))
 	cancelledBefore := cancelled.Value()
+	executedBefore := executed.Value()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/evaluate", bytes.NewReader(body))
@@ -87,15 +91,25 @@ func TestChaosCancelMidBootstrap(t *testing.T) {
 		clientErr <- err
 	}()
 
-	// Let the request reach the bootstrap, then abandon it.
-	deadline := time.Now().Add(5 * time.Second)
+	// Let the request reach the bootstrap, then abandon it. Waiting on
+	// wall-clock alone is racy (the cancel could land while the handler
+	// is still decoding JSON, before any pool dispatch), so wait until
+	// the pool has executed well more chunks than every pre-bootstrap
+	// phase combined (~30 chunks per estimator dispatch at this trace
+	// size) — at that point the 10k-resample bootstrap is mid-flight.
+	deadline := time.Now().Add(10 * time.Second)
 	for inFlight.Value() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("request never reached the handler")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	time.Sleep(100 * time.Millisecond)
+	for executed.Value() < executedBefore+200 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the bootstrap")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	cancelStart := time.Now()
 	cancel()
 

@@ -508,8 +508,16 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := requestCtx(r)
 	defer cancel()
-	diag, err := timed(obs.SpanFromContext(r.Context()), "diagnose", func() (core.Diagnostics, error) {
-		return core.DiagnoseCtx(ctx, trace, policy)
+	root := obs.SpanFromContext(r.Context())
+	view, err := timed(root, "build_view", func() (*core.TraceView[traceio.FlatContext, string], error) {
+		return core.NewTraceViewKeyedCtx(ctx, trace, traceio.FlatContext.Key)
+	})
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	diag, err := timed(root, "diagnose", func() (core.Diagnostics, error) {
+		return core.DiagnoseViewCtx(ctx, view, policy)
 	})
 	if err != nil {
 		writeEvalError(w, err)
@@ -526,8 +534,19 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := requestCtx(r)
 	defer cancel()
 	root := obs.SpanFromContext(r.Context())
+	// Columnar hot path: intern the trace once, then every phase below
+	// (diagnostics, model fit, estimators, bootstrap) reads the shared
+	// view — bit-identical results to the record-slice path, proved by
+	// internal/core's view equivalence suite.
+	view, err := timed(root, "build_view", func() (*core.TraceView[traceio.FlatContext, string], error) {
+		return core.NewTraceViewKeyedCtx(ctx, trace, traceio.FlatContext.Key)
+	})
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
 	diag, err := timed(root, "diagnose", func() (core.Diagnostics, error) {
-		return core.DiagnoseCtx(ctx, trace, policy)
+		return core.DiagnoseViewCtx(ctx, view, policy)
 	})
 	if err != nil {
 		writeEvalError(w, err)
@@ -543,31 +562,29 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			"n", diag.N, "essRatio", diag.ESS/float64(diag.N),
 			"maxWeight", diag.MaxWeight, "zeroSupport", diag.ZeroSupport)
 	}
-	model, err := timed(root, "fit_model", func() (*core.TableModel[traceio.FlatContext, string], error) {
-		return core.FitTableCtx(ctx, trace, func(c traceio.FlatContext, d string) string {
-			return c.Key() + "|" + d
-		})
+	model, err := timed(root, "fit_model", func() (*core.ViewTableModel[traceio.FlatContext, string], error) {
+		return core.FitTableViewCtx(ctx, view)
 	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
 	dm, err := timed(root, "direct_method", func() (core.Estimate, error) {
-		return core.DirectMethodCtx(ctx, trace, policy, model)
+		return core.DirectMethodViewCtx(ctx, view, policy, model)
 	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
 	ips, err := timed(root, "ips", func() (core.Estimate, error) {
-		return core.IPSCtx(ctx, trace, policy, core.IPSOptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+		return core.IPSViewCtx(ctx, view, policy, core.IPSOptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
 	dr, err := timed(root, "doubly_robust", func() (core.Estimate, error) {
-		return core.DoublyRobustCtx(ctx, trace, policy, model, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
+		return core.DoublyRobustViewCtx(ctx, view, policy, model, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 	})
 	if err != nil {
 		writeEvalError(w, err)
@@ -586,7 +603,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		root.Attr("degraded", "true")
 		root.SetError("degraded: overlap diagnostics crossed thresholds")
 		fb, err := timed(root, "fallback", func() (core.Estimate, error) {
-			return core.IPSCtx(ctx, trace, policy, core.IPSOptions{Clip: fallbackClip, SelfNormalize: true})
+			return core.IPSViewCtx(ctx, view, policy, core.IPSOptions{Clip: fallbackClip, SelfNormalize: true})
 		})
 		if err != nil {
 			writeEvalError(w, err)
@@ -609,10 +626,12 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			sp := root.StartChild("drevald_bootstrap").
 				Attr("resamples", fmt.Sprint(b))
 			defer sp.End()
-			ci, stats, err := core.BootstrapSeededStatsCtx(ctx, trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
-				m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
-				return core.DoublyRobust(t, policy, m, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
-			}, seed, b, 0.95)
+			// Refit-DR bootstrap by index over the view: running
+			// sufficient statistics per resample, no record copies.
+			// Bit-identical to the former FitTable + DoublyRobust
+			// closure (the per-(context, decision) key was injective).
+			ci, stats, err := core.BootstrapDRViewSeededStatsCtx(ctx, view, policy,
+				core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize}, seed, b, 0.95)
 			if err != nil {
 				sp.SetError(err.Error())
 			}

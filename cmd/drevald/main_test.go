@@ -13,6 +13,13 @@ import (
 )
 
 func testTraceJSON(t *testing.T, blankPropensities bool) []traceio.FlatRecord {
+	return testTraceJSONSized(t, blankPropensities, 400)
+}
+
+// testTraceJSONSized builds an n-record valid trace; the chaos tests
+// use large n so a full bootstrap takes long enough to cancel
+// mid-flight even on the columnar hot path.
+func testTraceJSONSized(t *testing.T, blankPropensities bool, n int) []traceio.FlatRecord {
 	t.Helper()
 	rng := mathx.NewRNG(1)
 	old := core.EpsilonGreedyPolicy[float64, int]{
@@ -21,7 +28,7 @@ func testTraceJSON(t *testing.T, blankPropensities bool) []traceio.FlatRecord {
 		Epsilon:   0.4,
 	}
 	var ctxs []float64
-	for i := 0; i < 400; i++ {
+	for i := 0; i < n; i++ {
 		ctxs = append(ctxs, float64(rng.Intn(3)))
 	}
 	tr := core.CollectTrace(ctxs, old, func(x float64, d int) float64 {

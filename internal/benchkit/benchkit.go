@@ -32,8 +32,10 @@ type Config struct {
 	Sizes []int `json:"sizes"`
 	// Workers are the worker-pool widths to measure at.
 	Workers []int `json:"workers"`
-	// Estimators are the workload names: any of "dm", "ips", "dr",
-	// "bootstrap".
+	// Estimators are the workload names: "dm", "ips", "dr" and
+	// "bootstrap" run the columnar TraceView hot path; the "_slice"
+	// variants of each run the record-slice implementations for the
+	// columnar-vs-slice comparison.
 	Estimators []string `json:"estimators"`
 	// Iters is the number of measured iterations per cell.
 	Iters int `json:"iters"`
@@ -51,7 +53,7 @@ func DefaultConfig() Config {
 	return Config{
 		Sizes:              []int{1000, 10000, 50000},
 		Workers:            []int{1, 2, 8},
-		Estimators:         []string{"dm", "ips", "dr", "bootstrap"},
+		Estimators:         []string{"dm", "ips", "dr", "bootstrap", "dm_slice", "ips_slice", "dr_slice", "bootstrap_slice"},
 		Iters:              20,
 		BootstrapResamples: 100,
 		Seed:               1,
@@ -65,8 +67,8 @@ func QuickConfig() Config {
 	return Config{
 		Sizes:              []int{500, 2000, 8000},
 		Workers:            []int{1, 2},
-		Estimators:         []string{"dm", "ips", "dr", "bootstrap"},
-		Iters:              5,
+		Estimators:         []string{"dm", "ips", "dr", "bootstrap", "dm_slice", "ips_slice", "dr_slice", "bootstrap_slice"},
+		Iters:              10,
 		BootstrapResamples: 20,
 		Seed:               1,
 	}
@@ -89,7 +91,7 @@ func (c Config) Validate() error {
 	}
 	for _, e := range c.Estimators {
 		if _, ok := workloads[e]; !ok {
-			return fmt.Errorf("benchkit: unknown estimator %q (want dm, ips, dr or bootstrap)", e)
+			return fmt.Errorf("benchkit: unknown estimator %q (want dm, ips, dr, bootstrap or a _slice variant)", e)
 		}
 	}
 	if c.Iters < 1 {

@@ -174,6 +174,42 @@ func TestDiffFlagsRegressionsAndSkipsNewCells(t *testing.T) {
 	}
 }
 
+func TestDiffMinReliableP50GatesTimingOnly(t *testing.T) {
+	base := &Report{SchemaVersion: SchemaVersion}
+	base.Cells = []CellResult{{
+		Cell:    Cell{Estimator: "ips", Size: 500, Workers: 1},
+		Metrics: Metrics{OpsPerSec: 100000, P50Ms: 0.01, P95Ms: 0.02, AllocsPerOp: 100},
+	}}
+	cur := &Report{SchemaVersion: SchemaVersion}
+	cur.Cells = []CellResult{{
+		// Timing "regressed" 2× but both p50s sit under the gate;
+		// allocs regressed too, and those must still be flagged.
+		Cell:    Cell{Estimator: "ips", Size: 500, Workers: 1},
+		Metrics: Metrics{OpsPerSec: 50000, P50Ms: 0.02, P95Ms: 0.04, AllocsPerOp: 200},
+	}}
+	th := Thresholds{MaxThroughputDrop: 0.3, MaxLatencyGrowth: 0.5, MaxAllocGrowth: 0.25, MinReliableP50Ms: 0.05}
+	regs := Diff(cur, base, th)
+	if len(regs) != 1 || regs[0].Metric != "allocsPerOp" {
+		t.Fatalf("gated diff = %v, want exactly the allocsPerOp regression", regs)
+	}
+	// Once either side's p50 clears the gate, timing checks apply.
+	cur.Cells[0].P50Ms = 0.06
+	regs = Diff(cur, base, th)
+	metrics := map[string]bool{}
+	for _, r := range regs {
+		metrics[r.Metric] = true
+	}
+	if !metrics["opsPerSec"] || !metrics["p95Ms"] || !metrics["allocsPerOp"] {
+		t.Fatalf("ungated diff missing metrics: %v", regs)
+	}
+	// Zero disables the gate entirely.
+	cur.Cells[0].P50Ms = 0.02
+	th.MinReliableP50Ms = 0
+	if regs := Diff(cur, base, th); len(regs) != 3 {
+		t.Fatalf("disabled gate: got %v, want 3 regressions", regs)
+	}
+}
+
 func TestReportRoundTripAndSchemaGuard(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_test.json")

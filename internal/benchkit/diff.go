@@ -22,6 +22,13 @@ type Thresholds struct {
 	// fraction. Allocation counts are nearly noise-free, so this is the
 	// tightest signal of the three.
 	MaxAllocGrowth float64 `json:"maxAllocGrowth"`
+	// MinReliableP50Ms gates the TIMING checks: when both the baseline
+	// and current p50 are below it, the cell is too fast for wall-clock
+	// comparisons on shared runners (a few µs of scheduler jitter reads
+	// as a 2× "regression"), so throughput and latency are skipped for
+	// that cell. Allocation checks always apply — they are
+	// deterministic at any speed. Zero disables the gate.
+	MinReliableP50Ms float64 `json:"minReliableP50Ms,omitempty"`
 }
 
 // DefaultThresholds returns the limits used when none are configured.
@@ -30,6 +37,7 @@ func DefaultThresholds() Thresholds {
 		MaxThroughputDrop: 0.40,
 		MaxLatencyGrowth:  0.60,
 		MaxAllocGrowth:    0.25,
+		MinReliableP50Ms:  0.5,
 	}
 }
 
@@ -65,7 +73,9 @@ func Diff(current, baseline *Report, th Thresholds) []Regression {
 		if base == nil {
 			continue
 		}
-		if th.MaxThroughputDrop > 0 && base.OpsPerSec > 0 {
+		timeable := th.MinReliableP50Ms <= 0 ||
+			base.P50Ms >= th.MinReliableP50Ms || cur.P50Ms >= th.MinReliableP50Ms
+		if timeable && th.MaxThroughputDrop > 0 && base.OpsPerSec > 0 {
 			drop := (base.OpsPerSec - cur.OpsPerSec) / base.OpsPerSec
 			if drop > th.MaxThroughputDrop {
 				out = append(out, Regression{
@@ -74,7 +84,7 @@ func Diff(current, baseline *Report, th Thresholds) []Regression {
 				})
 			}
 		}
-		if th.MaxLatencyGrowth > 0 && base.P95Ms > 0 {
+		if timeable && th.MaxLatencyGrowth > 0 && base.P95Ms > 0 {
 			growth := (cur.P95Ms - base.P95Ms) / base.P95Ms
 			if growth > th.MaxLatencyGrowth {
 				out = append(out, Regression{

@@ -75,10 +75,11 @@ func (s *splitmix) float64() float64 {
 }
 
 // workloadData is the shared per-(size, seed) input every estimator
-// cell runs against: the trace, the target policy and a prefit reward
-// model key function.
+// cell runs against: the trace, its columnar view, and the target
+// policy.
 type workloadData struct {
 	trace  core.Trace[traceio.FlatContext, string]
+	view   *core.TraceView[traceio.FlatContext, string]
 	policy core.Policy[traceio.FlatContext, string]
 }
 
@@ -93,35 +94,72 @@ func newWorkloadData(size int, seed int64) *workloadData {
 		// this is a programmer error in the generator.
 		panic(fmt.Sprintf("benchkit: building workload policy: %v", err))
 	}
-	return &workloadData{trace: trace, policy: policy}
+	view, err := core.NewTraceViewKeyed(trace, traceio.FlatContext.Key)
+	if err != nil {
+		// SyntheticTrace only emits valid records; reaching this is a
+		// programmer error in the generator.
+		panic(fmt.Sprintf("benchkit: building workload view: %v", err))
+	}
+	return &workloadData{trace: trace, view: view, policy: policy}
 }
 
 // workloads maps estimator names to cell constructors. Each returned
 // closure performs one full operation of the kind drevald serves —
 // including the model fit for the model-based estimators, since that
-// is part of every real request.
+// is part of every real request. The unsuffixed cells run the columnar
+// TraceView hot path drevald now serves; the "_slice" cells keep the
+// record-slice implementations so every report carries the
+// columnar-vs-slice comparison (the equivalence suite in internal/core
+// proves both compute bit-identical results).
 var workloads = map[string]func(*workloadData, Config) func() error{
 	"dm": func(w *workloadData, _ Config) func() error {
+		return func() error {
+			model := core.FitTableView(w.view)
+			_, err := core.DirectMethodView(w.view, w.policy, model)
+			return err
+		}
+	},
+	"ips": func(w *workloadData, _ Config) func() error {
+		return func() error {
+			_, err := core.IPSView(w.view, w.policy, core.IPSOptions{})
+			return err
+		}
+	},
+	"dr": func(w *workloadData, _ Config) func() error {
+		return func() error {
+			model := core.FitTableView(w.view)
+			_, err := core.DoublyRobustView(w.view, w.policy, model, core.DROptions{})
+			return err
+		}
+	},
+	"bootstrap": func(w *workloadData, cfg Config) func() error {
+		return func() error {
+			_, err := core.BootstrapDRViewSeeded(w.view, w.policy, core.DROptions{},
+				cfg.Seed, cfg.BootstrapResamples, 0.95)
+			return err
+		}
+	},
+	"dm_slice": func(w *workloadData, _ Config) func() error {
 		return func() error {
 			model := core.FitTable(w.trace, modelKey)
 			_, err := core.DirectMethod(w.trace, w.policy, model)
 			return err
 		}
 	},
-	"ips": func(w *workloadData, _ Config) func() error {
+	"ips_slice": func(w *workloadData, _ Config) func() error {
 		return func() error {
 			_, err := core.IPS(w.trace, w.policy, core.IPSOptions{})
 			return err
 		}
 	},
-	"dr": func(w *workloadData, _ Config) func() error {
+	"dr_slice": func(w *workloadData, _ Config) func() error {
 		return func() error {
 			model := core.FitTable(w.trace, modelKey)
 			_, err := core.DoublyRobust(w.trace, w.policy, model, core.DROptions{})
 			return err
 		}
 	},
-	"bootstrap": func(w *workloadData, cfg Config) func() error {
+	"bootstrap_slice": func(w *workloadData, cfg Config) func() error {
 		return func() error {
 			_, err := core.BootstrapSeeded(w.trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
 				m := core.FitTable(t, modelKey)

@@ -1,0 +1,57 @@
+package core
+
+import "sync"
+
+// Scratch pools for the columnar estimator hot path. The TraceView
+// estimators fill per-record working arrays (contributions, weights,
+// residuals) and small per-context tables on every evaluation; pooling
+// them keeps the steady state allocation-free (see
+// TestEstimatorSteadyStateAllocs) without threading arenas through
+// every call site.
+//
+// Contract: getFloats/getInt32s/getInts return slices of the requested
+// length with ARBITRARY contents — callers must write every element
+// they read. Callers return buffers with the matching put* once no
+// result aliases them; pooled buffers must never escape into returned
+// values.
+var (
+	floatScratch = sync.Pool{New: func() any { s := make([]float64, 0, 1024); return &s }}
+	int32Scratch = sync.Pool{New: func() any { s := make([]int32, 0, 1024); return &s }}
+	intScratch   = sync.Pool{New: func() any { s := make([]int, 0, 1024); return &s }}
+)
+
+// getFloats returns a pooled []float64 of length n (contents arbitrary).
+func getFloats(n int) *[]float64 {
+	p := floatScratch.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putFloats(p *[]float64) { floatScratch.Put(p) }
+
+// getInt32s returns a pooled []int32 of length n (contents arbitrary).
+func getInt32s(n int) *[]int32 {
+	p := int32Scratch.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putInt32s(p *[]int32) { int32Scratch.Put(p) }
+
+// getInts returns a pooled []int of length n (contents arbitrary).
+func getInts(n int) *[]int {
+	p := intScratch.Get().(*[]int)
+	if cap(*p) < n {
+		*p = make([]int, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putInts(p *[]int) { intScratch.Put(p) }

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"drnet/internal/mathx"
+	"drnet/internal/parallel"
+)
+
+// ViewEstimator is the columnar counterpart of Estimator: it evaluates
+// a statistic over the record multiset idx (indices into v, duplicates
+// allowed). The bootstrap variants below call it once per resample
+// with a pooled index buffer instead of materializing a record copy.
+type ViewEstimator[C any, D comparable] func(v *TraceView[C, D], idx []int) (Estimate, error)
+
+// BootstrapView is Bootstrap over a columnar view: resamples are drawn
+// by index from the same rng stream, so for an estimator pair
+// satisfying est_view(v, idx) ≡ est_slice(resample) the interval is
+// bit-identical to Bootstrap's.
+func BootstrapView[C any, D comparable](v *TraceView[C, D], est ViewEstimator[C, D], rng *mathx.RNG, b int, level float64) (Interval, error) {
+	return BootstrapViewCtx(context.Background(), v, est, rng, b, level)
+}
+
+// BootstrapViewCtx is BootstrapView with cooperative cancellation,
+// mirroring BootstrapCtx: ctx is checked before each resample.
+func BootstrapViewCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], est ViewEstimator[C, D], rng *mathx.RNG, b int, level float64) (Interval, error) {
+	n := v.Len()
+	if n == 0 {
+		return Interval{}, ErrEmptyTrace
+	}
+	if b <= 0 {
+		b = 200
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("core: confidence level %g out of (0,1)", level)
+	}
+	var values []float64
+	var lastErr error
+	ip := getInts(n)
+	defer putInts(ip)
+	idx := *ip
+	for i := 0; i < b; i++ {
+		if err := ctx.Err(); err != nil {
+			return Interval{}, err
+		}
+		for j := range idx {
+			idx[j] = rng.Intn(n)
+		}
+		e, err := est(v, idx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		values = append(values, e.Value)
+	}
+	if len(values) == 0 {
+		return Interval{}, fmt.Errorf("core: all bootstrap resamples failed: %w", lastErr)
+	}
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    mathx.Quantile(values, alpha),
+		Hi:    mathx.Quantile(values, 1-alpha),
+		Level: level,
+	}, nil
+}
+
+// BootstrapViewSeeded is BootstrapSeeded over a columnar view:
+// resample i is drawn by index from parallel.ShardedRNG shard i — the
+// identical stream consumption as the record-copying version — so the
+// interval is a pure function of (v, est, seed, b, level),
+// bit-identical at every worker count and to BootstrapSeeded with the
+// equivalent slice estimator.
+func BootstrapViewSeeded[C any, D comparable](v *TraceView[C, D], est ViewEstimator[C, D], seed int64, b int, level float64) (Interval, error) {
+	iv, _, err := BootstrapViewSeededStats(v, est, seed, b, level)
+	return iv, err
+}
+
+// BootstrapViewSeededStats is BootstrapViewSeeded plus resample
+// bookkeeping.
+func BootstrapViewSeededStats[C any, D comparable](v *TraceView[C, D], est ViewEstimator[C, D], seed int64, b int, level float64) (Interval, BootstrapStats, error) {
+	return BootstrapViewSeededStatsCtx(context.Background(), v, est, seed, b, level)
+}
+
+// BootstrapViewSeededCtx is BootstrapViewSeeded with cooperative
+// cancellation.
+func BootstrapViewSeededCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], est ViewEstimator[C, D], seed int64, b int, level float64) (Interval, error) {
+	iv, _, err := BootstrapViewSeededStatsCtx(ctx, v, est, seed, b, level)
+	return iv, err
+}
+
+// BootstrapViewSeededStatsCtx is BootstrapSeededStatsCtx over a
+// columnar view: per-resample work is one pooled index fill plus one
+// ViewEstimator call — no record copies, no per-resample slices.
+func BootstrapViewSeededStatsCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], est ViewEstimator[C, D], seed int64, b int, level float64) (Interval, BootstrapStats, error) {
+	n := v.Len()
+	if n == 0 {
+		return Interval{}, BootstrapStats{}, ErrEmptyTrace
+	}
+	if b <= 0 {
+		b = 200
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, BootstrapStats{}, fmt.Errorf("core: confidence level %g out of (0,1)", level)
+	}
+	sh := parallel.NewShardedRNG(seed)
+	draws, err := parallel.TimesCtx(ctx, b, 0, func(i int) (bootstrapDraw, error) {
+		rng := sh.Shard(i)
+		ip := getInts(n)
+		idx := *ip
+		for j := range idx {
+			idx[j] = rng.Intn(n)
+		}
+		e, derr := est(v, idx)
+		putInts(ip)
+		if derr != nil {
+			return bootstrapDraw{err: derr}, nil
+		}
+		return bootstrapDraw{value: e.Value}, nil
+	})
+	if err != nil {
+		return Interval{}, BootstrapStats{}, err
+	}
+	return collectBootstrapDraws(draws, b, level)
+}
+
+// bootstrapDraw is one resample outcome from a seeded bootstrap run.
+type bootstrapDraw struct {
+	value float64
+	err   error
+}
+
+// collectBootstrapDraws aggregates per-resample outcomes into the
+// percentile interval and stats, exactly as BootstrapSeededStatsCtx
+// does.
+func collectBootstrapDraws(draws []bootstrapDraw, b int, level float64) (Interval, BootstrapStats, error) {
+	stats := BootstrapStats{Resamples: b}
+	values := make([]float64, 0, b)
+	var lastErr error
+	for _, d := range draws {
+		if d.err != nil {
+			lastErr = d.err
+			stats.Skipped++
+			continue
+		}
+		values = append(values, d.value)
+	}
+	if len(values) == 0 {
+		return Interval{}, stats, fmt.Errorf("core: all bootstrap resamples failed: %w", lastErr)
+	}
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    mathx.Quantile(values, alpha),
+		Hi:    mathx.Quantile(values, 1-alpha),
+		Level: level,
+	}, stats, nil
+}
+
+// BootstrapDRViewSeeded bootstraps the refit doubly robust estimator:
+// each resample refits the per-(context, decision) table model on the
+// resampled records and evaluates DR with it — the exact estimator
+// drevald's /evaluate serves (FitTable + DoublyRobust per resample),
+// reduced to running sufficient statistics over index draws. The
+// interval and skip counts are bit-identical to BootstrapSeededStats
+// with that slice closure (for table-model key functions injective per
+// (interned context, decision) pair).
+func BootstrapDRViewSeeded[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D], opts DROptions, seed int64, b int, level float64) (Interval, error) {
+	iv, _, err := BootstrapDRViewSeededStats(v, newPolicy, opts, seed, b, level)
+	return iv, err
+}
+
+// BootstrapDRViewSeededStats is BootstrapDRViewSeeded plus resample
+// bookkeeping.
+func BootstrapDRViewSeededStats[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D], opts DROptions, seed int64, b int, level float64) (Interval, BootstrapStats, error) {
+	return BootstrapDRViewSeededStatsCtx(context.Background(), v, newPolicy, opts, seed, b, level)
+}
+
+// BootstrapDRViewSeededStatsCtx is BootstrapDRViewSeededStats with
+// cooperative cancellation. The policy is flattened over the view's
+// context dictionary once; each resample then touches only pooled
+// arrays: per-cell refit sums, per-context direct-method values, and
+// an in-order running contribution sum.
+func BootstrapDRViewSeededStatsCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], newPolicy Policy[C, D], opts DROptions, seed int64, b int, level float64) (Interval, BootstrapStats, error) {
+	n := v.Len()
+	if n == 0 {
+		return Interval{}, BootstrapStats{}, ErrEmptyTrace
+	}
+	if b <= 0 {
+		b = 200
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, BootstrapStats{}, fmt.Errorf("core: confidence level %g out of (0,1)", level)
+	}
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	sh := parallel.NewShardedRNG(seed)
+	draws, err := parallel.TimesCtx(ctx, b, 0, func(i int) (bootstrapDraw, error) {
+		rng := sh.Shard(i)
+		ip := getInts(n)
+		idx := *ip
+		for j := range idx {
+			idx[j] = rng.Intn(n)
+		}
+		val, derr := drRefitResampleValue(v, tb, idx, opts)
+		putInts(ip)
+		if derr != nil {
+			return bootstrapDraw{err: derr}, nil
+		}
+		return bootstrapDraw{value: val}, nil
+	})
+	if err != nil {
+		return Interval{}, BootstrapStats{}, err
+	}
+	return collectBootstrapDraws(draws, b, level)
+}
+
+// drRefitResampleValue computes the DR point estimate of one resample
+// with a table model refit on that resample. Every accumulation runs
+// in idx order, reproducing bit-for-bit what FitTable + DoublyRobust
+// compute on the materialized resample:
+//   - per-cell reward sums and the default (resample mean reward)
+//     accumulate in record order, as FitTableCtx's map does;
+//   - the per-context dm value consumes the flattened distribution in
+//     its original entry order, as the per-record dm loop does;
+//   - contributions are summed in record order, as
+//     summarizeContributions' mean does (only the point estimate
+//     enters the interval, so no per-record array is needed).
+func drRefitResampleValue[C any, D comparable](v *TraceView[C, D], tb *viewTables[D], idx []int, opts DROptions) (float64, error) {
+	if tb.anyInvalid {
+		if j, err := tb.firstInvalidIdx(v.ctxCodes, idx); err != nil {
+			return 0, fmt.Errorf("record %d: %w", j, err)
+		}
+	}
+	numCtx, k := len(tb.argmax), tb.k
+	mp := getFloats(numCtx * k)
+	cp := getInt32s(numCtx * k)
+	dp := getFloats(numCtx)
+	defer putFloats(mp)
+	defer putInt32s(cp)
+	defer putFloats(dp)
+	means, counts, dm := *mp, *cp, *dp
+	for c := range means {
+		means[c] = 0
+		counts[c] = 0
+	}
+	// Refit: per-cell mean rewards plus the resample's mean reward as
+	// the default for unseen cells.
+	total := 0.0
+	for _, id := range idx {
+		cell := int(v.ctxCodes[id])*k + int(v.decCodes[id])
+		means[cell] += v.rewards[id]
+		counts[cell]++
+		total += v.rewards[id]
+	}
+	nf := float64(len(idx))
+	def := total / nf
+	for c, cnt := range counts {
+		if cnt > 0 {
+			means[c] /= float64(cnt)
+		}
+	}
+	// Direct-method value per context under the refit model.
+	for u := 0; u < numCtx; u++ {
+		row := u * k
+		s := 0.0
+		for j := tb.distOff[u]; j < tb.distOff[u+1]; j++ {
+			p := def
+			if ci := tb.distCode[j]; ci >= 0 && counts[row+int(ci)] > 0 {
+				p = means[row+int(ci)]
+			}
+			s += tb.distProb[j] * p
+		}
+		dm[u] = s
+	}
+	if opts.SelfNormalize {
+		sumW := 0.0
+		for _, id := range idx {
+			u, kc := int(v.ctxCodes[id]), int(v.decCodes[id])
+			w := tb.probFirst[u*k+kc] / v.propensities[id]
+			if opts.Clip > 0 && w > opts.Clip {
+				w = opts.Clip
+			}
+			sumW += w
+		}
+		norm := nf
+		if sumW > 0 {
+			norm = sumW
+		}
+		s := 0.0
+		for _, id := range idx {
+			u, kc := int(v.ctxCodes[id]), int(v.decCodes[id])
+			cell := u*k + kc
+			w := tb.probFirst[cell] / v.propensities[id]
+			if opts.Clip > 0 && w > opts.Clip {
+				w = opts.Clip
+			}
+			pred := def
+			if counts[cell] > 0 {
+				pred = means[cell]
+			}
+			resid := v.rewards[id] - pred
+			s += dm[u] + nf/norm*w*resid
+		}
+		return s / nf, nil
+	}
+	s := 0.0
+	for _, id := range idx {
+		u, kc := int(v.ctxCodes[id]), int(v.decCodes[id])
+		cell := u*k + kc
+		w := tb.probFirst[cell] / v.propensities[id]
+		if opts.Clip > 0 && w > opts.Clip {
+			w = opts.Clip
+		}
+		pred := def
+		if counts[cell] > 0 {
+			pred = means[cell]
+		}
+		s += dm[u] + w*(v.rewards[id]-pred)
+	}
+	return s / nf, nil
+}

@@ -1,0 +1,554 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+// quantizedTrace is determinismTrace with contexts snapped to a small
+// grid, so interning actually collapses records (U ≪ n) and the view's
+// per-unique-context tables are exercised on the sharing path rather
+// than degenerating to one context per record.
+func quantizedTrace(n int) (Trace[float64, int], Policy[float64, int], RewardModel[float64, int]) {
+	tr, np, model := determinismTrace(n)
+	out := make(Trace[float64, int], len(tr))
+	copy(out, tr)
+	for i := range out {
+		out[i].Context = float64(int(out[i].Context*16)) / 16
+	}
+	return out, np, model
+}
+
+// equivalenceCases are the trace shapes every bit-equivalence test
+// sweeps: near-unique contexts (dictionary ≈ n) and heavily shared
+// contexts (dictionary ≪ n).
+func equivalenceCases(n int) map[string]func(int) (Trace[float64, int], Policy[float64, int], RewardModel[float64, int]) {
+	return map[string]func(int) (Trace[float64, int], Policy[float64, int], RewardModel[float64, int]){
+		"unique":    determinismTrace,
+		"quantized": quantizedTrace,
+	}
+}
+
+// TestViewEstimatorsBitIdenticalToSlice is the core equivalence
+// contract: every estimator returns the exact same Estimate — all
+// float fields bit-for-bit — from the columnar view as from the record
+// slice, sequentially and chunked over 1, 2 and 8 workers.
+func TestViewEstimatorsBitIdenticalToSlice(t *testing.T) {
+	const n = 5000
+	for shape, mk := range equivalenceCases(n) {
+		tr, np, model := mk(n)
+		v, err := NewTraceView(tr)
+		if err != nil {
+			t.Fatalf("%s: NewTraceView: %v", shape, err)
+		}
+		type variant struct {
+			name  string
+			slice func() (Estimate, error)
+			view  func() (Estimate, error)
+		}
+		variants := []variant{
+			{"DM",
+				func() (Estimate, error) { return DirectMethod(tr, np, model) },
+				func() (Estimate, error) { return DirectMethodView(v, np, model) }},
+			{"IPS",
+				func() (Estimate, error) { return IPS(tr, np, IPSOptions{}) },
+				func() (Estimate, error) { return IPSView(v, np, IPSOptions{}) }},
+			{"IPS clip",
+				func() (Estimate, error) { return IPS(tr, np, IPSOptions{Clip: 3}) },
+				func() (Estimate, error) { return IPSView(v, np, IPSOptions{Clip: 3}) }},
+			{"SNIPS",
+				func() (Estimate, error) { return IPS(tr, np, IPSOptions{SelfNormalize: true}) },
+				func() (Estimate, error) { return IPSView(v, np, IPSOptions{SelfNormalize: true}) }},
+			{"DR",
+				func() (Estimate, error) { return DoublyRobust(tr, np, model, DROptions{}) },
+				func() (Estimate, error) { return DoublyRobustView(v, np, model, DROptions{}) }},
+			{"DR clip+norm",
+				func() (Estimate, error) { return DoublyRobust(tr, np, model, DROptions{Clip: 3, SelfNormalize: true}) },
+				func() (Estimate, error) {
+					return DoublyRobustView(v, np, model, DROptions{Clip: 3, SelfNormalize: true})
+				}},
+			{"SwitchDR default tau",
+				func() (Estimate, error) { return SwitchDR(tr, np, model, SwitchOptions{}) },
+				func() (Estimate, error) { return SwitchDRView(v, np, model, SwitchOptions{}) }},
+			{"SwitchDR tau=2",
+				func() (Estimate, error) { return SwitchDR(tr, np, model, SwitchOptions{Tau: 2}) },
+				func() (Estimate, error) { return SwitchDRView(v, np, model, SwitchOptions{Tau: 2}) }},
+			{"MatchedRewards",
+				func() (Estimate, error) { return MatchedRewards(tr, np) },
+				func() (Estimate, error) { return MatchedRewardsView(v, np) }},
+		}
+		for _, vr := range variants {
+			var want Estimate
+			withParallelism(t, 1, n+1, func() {
+				var err error
+				want, err = vr.slice()
+				if err != nil {
+					t.Fatalf("%s/%s slice: %v", shape, vr.name, err)
+				}
+			})
+			// Sequential view path, then chunked at each worker count.
+			for _, w := range append([]int{0}, workerCounts...) {
+				threshold := 64
+				if w == 0 {
+					w, threshold = 1, n+1
+				}
+				withParallelism(t, w, threshold, func() {
+					got, err := vr.view()
+					if err != nil {
+						t.Fatalf("%s/%s view workers=%d: %v", shape, vr.name, w, err)
+					}
+					if got != want {
+						t.Fatalf("%s/%s view workers=%d: %+v != slice %+v", shape, vr.name, w, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestViewDiagnoseBitIdentical asserts DiagnoseView reproduces
+// Diagnose field-for-field on both trace shapes.
+func TestViewDiagnoseBitIdentical(t *testing.T) {
+	const n = 5000
+	for shape, mk := range equivalenceCases(n) {
+		tr, np, _ := mk(n)
+		v, err := NewTraceView(tr)
+		if err != nil {
+			t.Fatalf("%s: NewTraceView: %v", shape, err)
+		}
+		want, err := Diagnose(tr, np)
+		if err != nil {
+			t.Fatalf("%s: Diagnose: %v", shape, err)
+		}
+		got, err := DiagnoseView(v, np)
+		if err != nil {
+			t.Fatalf("%s: DiagnoseView: %v", shape, err)
+		}
+		if got != want {
+			t.Fatalf("%s: DiagnoseView %+v != Diagnose %+v", shape, got, want)
+		}
+	}
+}
+
+// TestFitTableViewMatchesFitTable asserts the columnar table model is
+// the slice table model: same predictions on every logged pair, same
+// default, and bit-identical DM/DR estimates when plugged in.
+func TestFitTableViewMatchesFitTable(t *testing.T) {
+	const n = 3000
+	tr, np, _ := quantizedTrace(n)
+	v, err := NewTraceView(tr)
+	if err != nil {
+		t.Fatalf("NewTraceView: %v", err)
+	}
+	key := func(c float64, d int) string {
+		return strconv.FormatFloat(c, 'g', -1, 64) + "|" + strconv.Itoa(d)
+	}
+	sliceModel := FitTable(tr, key)
+	viewModel := FitTableView(v)
+	for i, rec := range tr {
+		if got, want := viewModel.Predict(rec.Context, rec.Decision), sliceModel.Predict(rec.Context, rec.Decision); got != want {
+			t.Fatalf("record %d: view predict %v != slice predict %v", i, got, want)
+		}
+	}
+	// Unseen pairs fall back to the same default.
+	if got, want := viewModel.Predict(-123.5, 0), sliceModel.Predict(-123.5, 0); got != want {
+		t.Fatalf("default: view %v != slice %v", got, want)
+	}
+	wantDM, err := DirectMethod(tr, np, sliceModel)
+	if err != nil {
+		t.Fatalf("DirectMethod: %v", err)
+	}
+	gotDM, err := DirectMethodView(v, np, viewModel)
+	if err != nil {
+		t.Fatalf("DirectMethodView: %v", err)
+	}
+	if gotDM != wantDM {
+		t.Fatalf("DM with fit model: view %+v != slice %+v", gotDM, wantDM)
+	}
+	wantDR, err := DoublyRobust(tr, np, sliceModel, DROptions{Clip: 5})
+	if err != nil {
+		t.Fatalf("DoublyRobust: %v", err)
+	}
+	gotDR, err := DoublyRobustView(v, np, viewModel, DROptions{Clip: 5})
+	if err != nil {
+		t.Fatalf("DoublyRobustView: %v", err)
+	}
+	if gotDR != wantDR {
+		t.Fatalf("DR with fit model: view %+v != slice %+v", gotDR, wantDR)
+	}
+}
+
+// TestCrossFitDRViewBitIdentical asserts the cross-fitted estimator
+// agrees bit-for-bit when folds are carved from the view by index
+// instead of from the slice by copy.
+func TestCrossFitDRViewBitIdentical(t *testing.T) {
+	const n = 3000
+	tr, np, _ := quantizedTrace(n)
+	v, err := NewTraceView(tr)
+	if err != nil {
+		t.Fatalf("NewTraceView: %v", err)
+	}
+	fit := func(part Trace[float64, int]) (RewardModel[float64, int], error) {
+		return FitTable(part, func(c float64, d int) string {
+			return strconv.FormatFloat(c, 'g', -1, 64) + "|" + strconv.Itoa(d)
+		}), nil
+	}
+	for _, folds := range []int{2, 3} {
+		want, err := CrossFitDR(tr, np, fit, folds, DROptions{Clip: 4})
+		if err != nil {
+			t.Fatalf("CrossFitDR folds=%d: %v", folds, err)
+		}
+		for _, w := range workerCounts {
+			withParallelism(t, w, 64, func() {
+				got, err := CrossFitDRView(v, np, fit, folds, DROptions{Clip: 4})
+				if err != nil {
+					t.Fatalf("CrossFitDRView folds=%d workers=%d: %v", folds, w, err)
+				}
+				if got != want {
+					t.Fatalf("CrossFitDRView folds=%d workers=%d: %+v != %+v", folds, w, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestViewEstimatorErrorsMatchSlice asserts the view path fails with
+// the exact error string of the sequential slice scan — including the
+// first-failing-record index — for every estimator that validates
+// distributions.
+func TestViewEstimatorErrorsMatchSlice(t *testing.T) {
+	const n = 2000
+	tr, _, model := determinismTrace(n)
+	v, err := NewTraceView(tr)
+	if err != nil {
+		t.Fatalf("NewTraceView: %v", err)
+	}
+	bad := FuncPolicy[float64, int](func(x float64) []Weighted[int] {
+		if x > 0.5 {
+			return []Weighted[int]{{Decision: 0, Prob: 0.7}, {Decision: 1, Prob: 0.7}}
+		}
+		return []Weighted[int]{{Decision: 0, Prob: 1}, {Decision: 1, Prob: 0}, {Decision: 2, Prob: 0}}
+	})
+	type variant struct {
+		name  string
+		slice func() error
+		view  func() error
+	}
+	variants := []variant{
+		{"DM",
+			func() error { _, err := DirectMethod(tr, bad, model); return err },
+			func() error { _, err := DirectMethodView(v, bad, model); return err }},
+		{"DR",
+			func() error { _, err := DoublyRobust(tr, bad, model, DROptions{}); return err },
+			func() error { _, err := DoublyRobustView(v, bad, model, DROptions{}); return err }},
+		{"SwitchDR",
+			func() error { _, err := SwitchDR(tr, bad, model, SwitchOptions{}); return err },
+			func() error { _, err := SwitchDRView(v, bad, model, SwitchOptions{}); return err }},
+	}
+	for _, vr := range variants {
+		var want string
+		withParallelism(t, 1, n+1, func() {
+			err := vr.slice()
+			if err == nil {
+				t.Fatalf("%s slice: expected error", vr.name)
+			}
+			want = err.Error()
+		})
+		for _, w := range workerCounts {
+			withParallelism(t, w, 64, func() {
+				err := vr.view()
+				if err == nil {
+					t.Fatalf("%s view workers=%d: expected error", vr.name, w)
+				}
+				if err.Error() != want {
+					t.Fatalf("%s view workers=%d: error %q != slice %q", vr.name, w, err.Error(), want)
+				}
+			})
+		}
+	}
+}
+
+// TestBootstrapViewMatchesBootstrap drives the serial bootstrap from
+// the same RNG on both paths: index draws consume the stream exactly
+// as record draws do, so the intervals must be bit-identical.
+func TestBootstrapViewMatchesBootstrap(t *testing.T) {
+	const n = 800
+	tr, np, model := quantizedTrace(n)
+	v, err := NewTraceView(tr)
+	if err != nil {
+		t.Fatalf("NewTraceView: %v", err)
+	}
+	sliceEst := func(t Trace[float64, int]) (Estimate, error) {
+		return DoublyRobust(t, np, model, DROptions{Clip: 5})
+	}
+	viewEst := func(v *TraceView[float64, int], idx []int) (Estimate, error) {
+		return DoublyRobustViewIdx(v, idx, np, model, DROptions{Clip: 5})
+	}
+	want, err := Bootstrap(tr, sliceEst, mathx.NewRNG(42), 60, 0.9)
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	got, err := BootstrapView(v, viewEst, mathx.NewRNG(42), 60, 0.9)
+	if err != nil {
+		t.Fatalf("BootstrapView: %v", err)
+	}
+	if got != want {
+		t.Fatalf("BootstrapView %+v != Bootstrap %+v", got, want)
+	}
+}
+
+// TestBootstrapViewSeededBitIdentical asserts the seeded, sharded
+// bootstrap produces identical intervals and skip counts from the view
+// as from the slice, at every worker count (resample i is pinned to
+// shard i on both paths).
+func TestBootstrapViewSeededBitIdentical(t *testing.T) {
+	const (
+		n     = 1200
+		seed  = 99
+		b     = 150
+		level = 0.95
+	)
+	tr, np, model := quantizedTrace(n)
+	v, err := NewTraceView(tr)
+	if err != nil {
+		t.Fatalf("NewTraceView: %v", err)
+	}
+	sliceEst := func(t Trace[float64, int]) (Estimate, error) {
+		return DoublyRobust(t, np, model, DROptions{Clip: 5})
+	}
+	viewEst := func(v *TraceView[float64, int], idx []int) (Estimate, error) {
+		return DoublyRobustViewIdx(v, idx, np, model, DROptions{Clip: 5})
+	}
+	var wantIv Interval
+	var wantStats BootstrapStats
+	withParallelism(t, 1, n+1, func() {
+		var err error
+		wantIv, wantStats, err = BootstrapSeededStats(tr, sliceEst, seed, b, level)
+		if err != nil {
+			t.Fatalf("BootstrapSeededStats: %v", err)
+		}
+	})
+	for _, w := range workerCounts {
+		withParallelism(t, w, 64, func() {
+			gotIv, gotStats, err := BootstrapViewSeededStats(v, viewEst, seed, b, level)
+			if err != nil {
+				t.Fatalf("BootstrapViewSeededStats workers=%d: %v", w, err)
+			}
+			if gotIv != wantIv || gotStats != wantStats {
+				t.Fatalf("workers=%d: view (%+v, %+v) != slice (%+v, %+v)", w, gotIv, gotStats, wantIv, wantStats)
+			}
+		})
+	}
+}
+
+// TestBootstrapDRViewSeededMatchesRefitClosure pins the packaged
+// refit-DR bootstrap (running sufficient statistics over index draws)
+// to the naive slice closure drevald serves: FitTable + DoublyRobust
+// per resample. Same seeds, bit-identical interval and stats, at every
+// worker count.
+func TestBootstrapDRViewSeededMatchesRefitClosure(t *testing.T) {
+	const (
+		n     = 1000
+		seed  = 7
+		b     = 120
+		level = 0.9
+	)
+	for _, opts := range []DROptions{{}, {Clip: 5}, {Clip: 5, SelfNormalize: true}} {
+		opts := opts
+		tr, np, _ := quantizedTrace(n)
+		v, err := NewTraceView(tr)
+		if err != nil {
+			t.Fatalf("NewTraceView: %v", err)
+		}
+		key := func(c float64, d int) string {
+			return strconv.FormatFloat(c, 'g', -1, 64) + "|" + strconv.Itoa(d)
+		}
+		sliceEst := func(t Trace[float64, int]) (Estimate, error) {
+			m := FitTable(t, key)
+			return DoublyRobust(t, np, m, opts)
+		}
+		var wantIv Interval
+		var wantStats BootstrapStats
+		withParallelism(t, 1, n+1, func() {
+			var err error
+			wantIv, wantStats, err = BootstrapSeededStats(tr, sliceEst, seed, b, level)
+			if err != nil {
+				t.Fatalf("opts=%+v BootstrapSeededStats: %v", opts, err)
+			}
+		})
+		for _, w := range workerCounts {
+			withParallelism(t, w, 64, func() {
+				gotIv, gotStats, err := BootstrapDRViewSeededStats(v, np, opts, seed, b, level)
+				if err != nil {
+					t.Fatalf("opts=%+v workers=%d: %v", opts, w, err)
+				}
+				if gotIv != wantIv || gotStats != wantStats {
+					t.Fatalf("opts=%+v workers=%d: view (%+v, %+v) != slice (%+v, %+v)",
+						opts, w, gotIv, gotStats, wantIv, wantStats)
+				}
+			})
+		}
+	}
+}
+
+// TestBootstrapViewAllFailMatchesSlice asserts the all-resamples-failed
+// error carries the same wrapped message on both paths.
+func TestBootstrapViewAllFailMatchesSlice(t *testing.T) {
+	const n = 300
+	tr, _, _ := determinismTrace(n)
+	v, err := NewTraceView(tr)
+	if err != nil {
+		t.Fatalf("NewTraceView: %v", err)
+	}
+	failSlice := func(Trace[float64, int]) (Estimate, error) {
+		return Estimate{}, fmt.Errorf("synthetic failure")
+	}
+	failView := func(*TraceView[float64, int], []int) (Estimate, error) {
+		return Estimate{}, fmt.Errorf("synthetic failure")
+	}
+	_, _, errSlice := BootstrapSeededStats(tr, failSlice, 5, 20, 0.9)
+	_, _, errView := BootstrapViewSeededStats(v, failView, 5, 20, 0.9)
+	if errSlice == nil || errView == nil {
+		t.Fatalf("expected both paths to fail: slice=%v view=%v", errSlice, errView)
+	}
+	if errSlice.Error() != errView.Error() {
+		t.Fatalf("error mismatch: slice %q view %q", errSlice.Error(), errView.Error())
+	}
+}
+
+// vecCtx is a deliberately non-comparable context (slice field) for the
+// keyed-view tests.
+type vecCtx struct {
+	xs []float64
+}
+
+func vecKey(c vecCtx) string {
+	s := ""
+	for _, x := range c.xs {
+		s += strconv.FormatFloat(x, 'g', -1, 64) + ","
+	}
+	return s
+}
+
+// TestKeyedViewBitIdenticalToSlice covers NewTraceViewKeyed: a
+// non-comparable context type interned by key must still reproduce the
+// slice estimates bit-for-bit.
+func TestKeyedViewBitIdenticalToSlice(t *testing.T) {
+	const n = 2500
+	rng := mathx.NewRNG(4321)
+	old := EpsilonGreedyPolicy[vecCtx, int]{
+		Base:      func(vecCtx) int { return 0 },
+		Decisions: []int{0, 1, 2},
+		Epsilon:   0.3,
+	}
+	ctxs := make([]vecCtx, n)
+	for i := range ctxs {
+		// Snap to a grid so keys collide and interning shares contexts.
+		ctxs[i] = vecCtx{xs: []float64{float64(rng.Intn(8)) / 8, float64(rng.Intn(4)) / 4}}
+	}
+	reward := func(c vecCtx, d int) float64 { return c.xs[0]*float64(d+1) + c.xs[1] }
+	tr := CollectTrace(ctxs, old, func(c vecCtx, d int) float64 {
+		return reward(c, d) + rng.Normal(0, 0.2)
+	}, rng)
+	np := EpsilonGreedyPolicy[vecCtx, int]{
+		Base:      func(vecCtx) int { return 2 },
+		Decisions: []int{0, 1, 2},
+		Epsilon:   0.1,
+	}
+	model := RewardFunc[vecCtx, int](func(c vecCtx, d int) float64 { return reward(c, d) + 0.1 })
+	v, err := NewTraceViewKeyed(tr, vecKey)
+	if err != nil {
+		t.Fatalf("NewTraceViewKeyed: %v", err)
+	}
+	if v.NumContexts() >= n/2 {
+		t.Fatalf("keyed interning did not share contexts: %d unique of %d", v.NumContexts(), n)
+	}
+	type variant struct {
+		name  string
+		slice func() (Estimate, error)
+		view  func() (Estimate, error)
+	}
+	variants := []variant{
+		{"DM",
+			func() (Estimate, error) { return DirectMethod(tr, np, model) },
+			func() (Estimate, error) { return DirectMethodView(v, np, model) }},
+		{"SNIPS",
+			func() (Estimate, error) { return IPS(tr, np, IPSOptions{SelfNormalize: true}) },
+			func() (Estimate, error) { return IPSView(v, np, IPSOptions{SelfNormalize: true}) }},
+		{"DR",
+			func() (Estimate, error) { return DoublyRobust(tr, np, model, DROptions{Clip: 4}) },
+			func() (Estimate, error) { return DoublyRobustView(v, np, model, DROptions{Clip: 4}) }},
+	}
+	for _, vr := range variants {
+		want, err := vr.slice()
+		if err != nil {
+			t.Fatalf("%s slice: %v", vr.name, err)
+		}
+		for _, w := range workerCounts {
+			withParallelism(t, w, 64, func() {
+				got, err := vr.view()
+				if err != nil {
+					t.Fatalf("%s view workers=%d: %v", vr.name, w, err)
+				}
+				if got != want {
+					t.Fatalf("%s view workers=%d: %+v != slice %+v", vr.name, w, got, want)
+				}
+			})
+		}
+	}
+	// FitTableView with the keyed view matches FitTable with a key
+	// that composes the context key with the decision.
+	sliceModel := FitTable(tr, func(c vecCtx, d int) string { return vecKey(c) + "|" + strconv.Itoa(d) })
+	viewModel := FitTableView(v)
+	for i, rec := range tr {
+		if got, want := viewModel.Predict(rec.Context, rec.Decision), sliceModel.Predict(rec.Context, rec.Decision); got != want {
+			t.Fatalf("record %d: keyed view predict %v != slice %v", i, got, want)
+		}
+	}
+}
+
+// TestViewCtxVariantsHonorCancellation asserts the Ctx entry points
+// observe an already-cancelled context instead of computing.
+func TestViewCtxVariantsHonorCancellation(t *testing.T) {
+	const n = 1000
+	tr, np, model := determinismTrace(n)
+	v, err := NewTraceView(tr)
+	if err != nil {
+		t.Fatalf("NewTraceView: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewTraceViewCtx(ctx, tr); err == nil {
+		t.Fatal("NewTraceViewCtx: expected cancellation error")
+	}
+	if _, err := DirectMethodViewCtx(ctx, v, np, model); err == nil {
+		t.Fatal("DirectMethodViewCtx: expected cancellation error")
+	}
+	if _, err := IPSViewCtx(ctx, v, np, IPSOptions{}); err == nil {
+		t.Fatal("IPSViewCtx: expected cancellation error")
+	}
+	if _, err := DoublyRobustViewCtx(ctx, v, np, model, DROptions{}); err == nil {
+		t.Fatal("DoublyRobustViewCtx: expected cancellation error")
+	}
+	if _, err := SwitchDRViewCtx(ctx, v, np, model, SwitchOptions{}); err == nil {
+		t.Fatal("SwitchDRViewCtx: expected cancellation error")
+	}
+	if _, err := DiagnoseViewCtx(ctx, v, np); err == nil {
+		t.Fatal("DiagnoseViewCtx: expected cancellation error")
+	}
+	if _, err := FitTableViewCtx(ctx, v); err == nil {
+		t.Fatal("FitTableViewCtx: expected cancellation error")
+	}
+	if _, err := BootstrapViewCtx(ctx, v, func(v *TraceView[float64, int], idx []int) (Estimate, error) {
+		return IPSViewIdx(v, idx, np, IPSOptions{})
+	}, mathx.NewRNG(1), 10, 0.9); err == nil {
+		t.Fatal("BootstrapViewCtx: expected cancellation error")
+	}
+	if _, _, err := BootstrapDRViewSeededStatsCtx(ctx, v, np, DROptions{}, 1, 10, 0.9); err == nil {
+		t.Fatal("BootstrapDRViewSeededStatsCtx: expected cancellation error")
+	}
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"drnet/internal/mathx"
+)
+
+// This file holds the columnar estimator hot path: every estimator in
+// estimators.go/switchdr.go/diagnostics.go re-expressed over a
+// TraceView. Each *View function is bit-identical to its Trace
+// counterpart (same floats, same errors, same text) for pure policies
+// and models — the per-record quantities are read from per-unique-
+// context tables holding the exact values the slice path recomputes
+// per record, and every reduction runs in the same index order.
+// view_equivalence_test.go enforces this across worker counts 1/2/8.
+
+// DirectMethodView is DirectMethod over a columnar view.
+func DirectMethodView[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D], model RewardModel[C, D]) (Estimate, error) {
+	return DirectMethodViewCtx(context.Background(), v, newPolicy, model)
+}
+
+// DirectMethodViewCtx is DirectMethodCtx over a columnar view.
+func DirectMethodViewCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], newPolicy Policy[C, D], model RewardModel[C, D]) (Estimate, error) {
+	n := v.Len()
+	if n == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	if tb.anyInvalid {
+		i, err := tb.firstInvalidFull(v.ctxFirst)
+		return Estimate{}, fmt.Errorf("record %d: %w", i, err)
+	}
+	mt := buildModelTable(v, tb, model)
+	defer mt.release()
+	cp := getFloats(n)
+	defer putFloats(cp)
+	contrib := *cp
+	err := forEachRecordCtx(ctx, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			contrib[i] = mt.dm[v.ctxCodes[i]]
+		}
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	return summarizeContributions(contrib), nil
+}
+
+// IPSView is IPS over a columnar view. The view was validated at
+// construction, so the slice path's Trace.Validate pass is skipped.
+func IPSView[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D], opts IPSOptions) (Estimate, error) {
+	return IPSViewCtx(context.Background(), v, newPolicy, opts)
+}
+
+// IPSViewCtx is IPSCtx over a columnar view.
+func IPSViewCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], newPolicy Policy[C, D], opts IPSOptions) (Estimate, error) {
+	n := v.Len()
+	if n == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	wp, cp := getFloats(n), getFloats(n)
+	defer putFloats(wp)
+	defer putFloats(cp)
+	weights, contrib := *wp, *cp
+	k := tb.k
+	if err := forEachRecordCtx(ctx, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			w := tb.probFirst[int(v.ctxCodes[i])*k+int(v.decCodes[i])] / v.propensities[i]
+			if opts.Clip > 0 && w > opts.Clip {
+				w = opts.Clip
+			}
+			weights[i] = w
+			contrib[i] = w * v.rewards[i]
+		}
+		return nil
+	}); err != nil {
+		return Estimate{}, err
+	}
+	maxW := maxWeight(weights)
+	var est Estimate
+	if opts.SelfNormalize {
+		est.Value = mathx.WeightedMean(v.rewards, weights)
+		// Plug-in stderr via the linearized influence function of SNIPS.
+		nf := float64(n)
+		wbar := mathx.Mean(weights)
+		if wbar > 0 {
+			ip := getFloats(n)
+			infl := *ip
+			for i := range infl {
+				infl[i] = weights[i] * (v.rewards[i] - est.Value) / wbar
+			}
+			est.StdErr = mathx.StdDev(infl) / math.Sqrt(nf)
+			putFloats(ip)
+		}
+		est.N = n
+	} else {
+		est = summarizeContributions(contrib)
+	}
+	est.ESS = mathx.EffectiveSampleSize(weights)
+	est.MaxWeight = maxW
+	return est, nil
+}
+
+// DoublyRobustView is DoublyRobust over a columnar view.
+func DoublyRobustView[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts DROptions) (Estimate, error) {
+	return DoublyRobustViewCtx(context.Background(), v, newPolicy, model, opts)
+}
+
+// DoublyRobustViewCtx is DoublyRobustCtx over a columnar view.
+func DoublyRobustViewCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts DROptions) (Estimate, error) {
+	n := v.Len()
+	if n == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	if tb.anyInvalid {
+		i, err := tb.firstInvalidFull(v.ctxFirst)
+		return Estimate{}, fmt.Errorf("record %d: %w", i, err)
+	}
+	mt := buildModelTable(v, tb, model)
+	defer mt.release()
+	dp, wp, rp, cp := getFloats(n), getFloats(n), getFloats(n), getFloats(n)
+	defer putFloats(dp)
+	defer putFloats(wp)
+	defer putFloats(rp)
+	defer putFloats(cp)
+	dmPart, weights, resid, contrib := *dp, *wp, *rp, *cp
+	k := tb.k
+	err := forEachRecordCtx(ctx, n, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			u, kc := int(v.ctxCodes[i]), int(v.decCodes[i])
+			dmPart[i] = mt.dm[u]
+			w := tb.probFirst[u*k+kc] / v.propensities[i]
+			if opts.Clip > 0 && w > opts.Clip {
+				w = opts.Clip
+			}
+			weights[i] = w
+			resid[i] = v.rewards[i] - mt.pred[u*k+kc]
+		}
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	maxW := maxWeight(weights)
+
+	if opts.SelfNormalize {
+		sumW := 0.0
+		for _, w := range weights {
+			sumW += w
+		}
+		norm := float64(n)
+		if sumW > 0 {
+			norm = sumW
+		}
+		for i := range contrib {
+			contrib[i] = dmPart[i] + float64(n)/norm*weights[i]*resid[i]
+		}
+	} else {
+		for i := range contrib {
+			contrib[i] = dmPart[i] + weights[i]*resid[i]
+		}
+	}
+	est := summarizeContributions(contrib)
+	est.ESS = mathx.EffectiveSampleSize(weights)
+	est.MaxWeight = maxW
+	return est, nil
+}
+
+// SwitchDRView is SwitchDR over a columnar view.
+func SwitchDRView[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts SwitchOptions) (Estimate, error) {
+	return SwitchDRViewCtx(context.Background(), v, newPolicy, model, opts)
+}
+
+// SwitchDRViewCtx is SwitchDRCtx over a columnar view.
+func SwitchDRViewCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], newPolicy Policy[C, D], model RewardModel[C, D], opts SwitchOptions) (Estimate, error) {
+	n := v.Len()
+	if n == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	wp := getFloats(n)
+	defer putFloats(wp)
+	weights := *wp
+	k := tb.k
+	for i := 0; i < n; i++ {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return Estimate{}, err
+			}
+		}
+		weights[i] = tb.probFirst[int(v.ctxCodes[i])*k+int(v.decCodes[i])] / v.propensities[i]
+	}
+	tau := opts.Tau
+	if tau <= 0 {
+		tau = math.Max(1, mathx.Quantile(weights, 0.95))
+	}
+	// The slice path surfaces the first invalid distribution from its
+	// contribution pass; the view knows it up front (same error value).
+	if tb.anyInvalid {
+		_, err := tb.firstInvalidFull(v.ctxFirst)
+		return Estimate{}, err
+	}
+	mt := buildModelTable(v, tb, model)
+	defer mt.release()
+	cp, kp := getFloats(n), getFloats(n)
+	defer putFloats(cp)
+	defer putFloats(kp)
+	contrib := *cp
+	kept := (*kp)[:0]
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return Estimate{}, err
+			}
+		}
+		u, kc := int(v.ctxCodes[i]), int(v.decCodes[i])
+		dm := mt.dm[u]
+		if weights[i] <= tau {
+			contrib[i] = dm + weights[i]*(v.rewards[i]-mt.pred[u*k+kc])
+			kept = append(kept, weights[i])
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		} else {
+			contrib[i] = dm
+		}
+	}
+	est := summarizeContributions(contrib)
+	if len(kept) > 0 {
+		est.ESS = mathx.EffectiveSampleSize(kept)
+	}
+	est.MaxWeight = maxW
+	return est, nil
+}
+
+// MatchedRewardsView is MatchedRewards over a columnar view.
+func MatchedRewardsView[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D]) (Estimate, error) {
+	return MatchedRewardsViewCtx(context.Background(), v, newPolicy)
+}
+
+// MatchedRewardsViewCtx is MatchedRewardsCtx over a columnar view.
+func MatchedRewardsViewCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], newPolicy Policy[C, D]) (Estimate, error) {
+	n := v.Len()
+	if n == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	mp := getFloats(n)
+	defer putFloats(mp)
+	matched := (*mp)[:0]
+	for i := 0; i < n; i++ {
+		if i%estimatorGrain == 0 {
+			if err := ctx.Err(); err != nil {
+				return Estimate{}, err
+			}
+		}
+		if tb.argmax[v.ctxCodes[i]] == v.decCodes[i] {
+			matched = append(matched, v.rewards[i])
+		}
+	}
+	if len(matched) == 0 {
+		return Estimate{}, ErrNoMatches
+	}
+	return summarizeContributions(matched), nil
+}
+
+// DiagnoseView is Diagnose over a columnar view.
+func DiagnoseView[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D]) (Diagnostics, error) {
+	return DiagnoseViewCtx(context.Background(), v, newPolicy)
+}
+
+// DiagnoseViewCtx is DiagnoseCtx over a columnar view. The view was
+// validated at construction, so the slice path's Trace.Validate pass
+// is skipped.
+func DiagnoseViewCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D], newPolicy Policy[C, D]) (Diagnostics, error) {
+	n := v.Len()
+	if n == 0 {
+		return Diagnostics{}, ErrEmptyTrace
+	}
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	d := Diagnostics{N: n, MinPropensity: v.propensities[0]}
+	wp := getFloats(n)
+	defer putFloats(wp)
+	weights := *wp
+	matches := 0
+	k := tb.k
+	for i := 0; i < n; i++ {
+		if i%diagnoseCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Diagnostics{}, err
+			}
+		}
+		u, kc := int(v.ctxCodes[i]), int(v.decCodes[i])
+		w := tb.probLast[u*k+kc] / v.propensities[i]
+		weights[i] = w
+		if w == 0 {
+			d.ZeroSupport++
+		}
+		if w > d.MaxWeight {
+			d.MaxWeight = w
+		}
+		if tb.argmax[u] == v.decCodes[i] {
+			matches++
+		}
+		if v.propensities[i] < d.MinPropensity {
+			d.MinPropensity = v.propensities[i]
+		}
+	}
+	d.ESS = mathx.EffectiveSampleSize(weights)
+	d.MatchRate = float64(matches) / float64(n)
+	d.MeanWeight = mathx.Mean(weights)
+	return d, nil
+}
+
+// CrossFitDRView is CrossFitDR over a columnar view: the policy is
+// flattened once for all folds, per-fold evaluation runs by index, and
+// only the fit part is materialized (the generic ModelFitter consumes
+// a Trace).
+func CrossFitDRView[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C, D], fit ModelFitter[C, D], folds int, opts DROptions) (Estimate, error) {
+	n := v.Len()
+	if n == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	if folds < 2 {
+		return Estimate{}, fmt.Errorf("core: cross-fitting needs at least 2 folds")
+	}
+	if folds > n {
+		folds = n
+	}
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+
+	var total, weightSum float64
+	var used int
+	agg := Estimate{}
+	for f := 0; f < folds; f++ {
+		var fitPart Trace[C, D]
+		ip := getInts(0)
+		evalIdx := (*ip)[:0]
+		for i := 0; i < n; i++ {
+			if i%folds == f {
+				evalIdx = append(evalIdx, i)
+			} else {
+				fitPart = append(fitPart, v.At(i))
+			}
+		}
+		*ip = evalIdx
+		if len(evalIdx) == 0 {
+			putInts(ip)
+			continue
+		}
+		model, err := fit(fitPart)
+		if err != nil {
+			putInts(ip)
+			return Estimate{}, fmt.Errorf("core: fold %d model fit: %w", f, err)
+		}
+		est, err := doublyRobustViewIdx(v, tb, evalIdx, model, opts)
+		putInts(ip)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("core: fold %d: %w", f, err)
+		}
+		w := float64(est.N)
+		total += est.Value * w
+		weightSum += w
+		used += est.N
+		agg.ESS += est.ESS
+		if est.MaxWeight > agg.MaxWeight {
+			agg.MaxWeight = est.MaxWeight
+		}
+		// Pool fold variances (approximate: folds are independent).
+		agg.StdErr += est.StdErr * est.StdErr * w * w
+	}
+	if weightSum == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	agg.Value = total / weightSum
+	agg.N = used
+	agg.StdErr = math.Sqrt(agg.StdErr) / weightSum
+	return agg, nil
+}
+
+// DirectMethodViewIdx evaluates the Direct Method over the record
+// multiset idx (indices into v, duplicates allowed) — bit-identical to
+// DirectMethod on the materialized resample. Bootstrap resamples use
+// this family instead of copying records.
+func DirectMethodViewIdx[C any, D comparable](v *TraceView[C, D], idx []int, newPolicy Policy[C, D], model RewardModel[C, D]) (Estimate, error) {
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	return directMethodViewIdx(v, tb, idx, model)
+}
+
+func directMethodViewIdx[C any, D comparable](v *TraceView[C, D], tb *viewTables[D], idx []int, model RewardModel[C, D]) (Estimate, error) {
+	if len(idx) == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	if tb.anyInvalid {
+		if j, err := tb.firstInvalidIdx(v.ctxCodes, idx); err != nil {
+			return Estimate{}, fmt.Errorf("record %d: %w", j, err)
+		}
+	}
+	mt := buildModelTable(v, tb, model)
+	defer mt.release()
+	cp := getFloats(len(idx))
+	defer putFloats(cp)
+	contrib := *cp
+	for j, id := range idx {
+		contrib[j] = mt.dm[v.ctxCodes[id]]
+	}
+	return summarizeContributions(contrib), nil
+}
+
+// IPSViewIdx evaluates IPS over the record multiset idx —
+// bit-identical to IPS on the materialized resample.
+func IPSViewIdx[C any, D comparable](v *TraceView[C, D], idx []int, newPolicy Policy[C, D], opts IPSOptions) (Estimate, error) {
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	return ipsViewIdx(v, tb, idx, opts)
+}
+
+func ipsViewIdx[C any, D comparable](v *TraceView[C, D], tb *viewTables[D], idx []int, opts IPSOptions) (Estimate, error) {
+	m := len(idx)
+	if m == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	wp, cp, rp := getFloats(m), getFloats(m), getFloats(m)
+	defer putFloats(wp)
+	defer putFloats(cp)
+	defer putFloats(rp)
+	weights, contrib, rews := *wp, *cp, *rp
+	k := tb.k
+	for j, id := range idx {
+		w := tb.probFirst[int(v.ctxCodes[id])*k+int(v.decCodes[id])] / v.propensities[id]
+		if opts.Clip > 0 && w > opts.Clip {
+			w = opts.Clip
+		}
+		weights[j] = w
+		rews[j] = v.rewards[id]
+		contrib[j] = w * rews[j]
+	}
+	maxW := maxWeight(weights)
+	var est Estimate
+	if opts.SelfNormalize {
+		est.Value = mathx.WeightedMean(rews, weights)
+		nf := float64(m)
+		wbar := mathx.Mean(weights)
+		if wbar > 0 {
+			ifp := getFloats(m)
+			infl := *ifp
+			for j := range infl {
+				infl[j] = weights[j] * (rews[j] - est.Value) / wbar
+			}
+			est.StdErr = mathx.StdDev(infl) / math.Sqrt(nf)
+			putFloats(ifp)
+		}
+		est.N = m
+	} else {
+		est = summarizeContributions(contrib)
+	}
+	est.ESS = mathx.EffectiveSampleSize(weights)
+	est.MaxWeight = maxW
+	return est, nil
+}
+
+// DoublyRobustViewIdx evaluates DR over the record multiset idx —
+// bit-identical to DoublyRobust on the materialized resample.
+func DoublyRobustViewIdx[C any, D comparable](v *TraceView[C, D], idx []int, newPolicy Policy[C, D], model RewardModel[C, D], opts DROptions) (Estimate, error) {
+	tb := buildViewTables(v, newPolicy)
+	defer tb.release()
+	return doublyRobustViewIdx(v, tb, idx, model, opts)
+}
+
+func doublyRobustViewIdx[C any, D comparable](v *TraceView[C, D], tb *viewTables[D], idx []int, model RewardModel[C, D], opts DROptions) (Estimate, error) {
+	m := len(idx)
+	if m == 0 {
+		return Estimate{}, ErrEmptyTrace
+	}
+	if tb.anyInvalid {
+		if j, err := tb.firstInvalidIdx(v.ctxCodes, idx); err != nil {
+			return Estimate{}, fmt.Errorf("record %d: %w", j, err)
+		}
+	}
+	mt := buildModelTable(v, tb, model)
+	defer mt.release()
+	dp, wp, rp, cp := getFloats(m), getFloats(m), getFloats(m), getFloats(m)
+	defer putFloats(dp)
+	defer putFloats(wp)
+	defer putFloats(rp)
+	defer putFloats(cp)
+	dmPart, weights, resid, contrib := *dp, *wp, *rp, *cp
+	k := tb.k
+	for j, id := range idx {
+		u, kc := int(v.ctxCodes[id]), int(v.decCodes[id])
+		dmPart[j] = mt.dm[u]
+		w := tb.probFirst[u*k+kc] / v.propensities[id]
+		if opts.Clip > 0 && w > opts.Clip {
+			w = opts.Clip
+		}
+		weights[j] = w
+		resid[j] = v.rewards[id] - mt.pred[u*k+kc]
+	}
+	maxW := maxWeight(weights)
+	if opts.SelfNormalize {
+		sumW := 0.0
+		for _, w := range weights {
+			sumW += w
+		}
+		norm := float64(m)
+		if sumW > 0 {
+			norm = sumW
+		}
+		for j := range contrib {
+			contrib[j] = dmPart[j] + float64(m)/norm*weights[j]*resid[j]
+		}
+	} else {
+		for j := range contrib {
+			contrib[j] = dmPart[j] + weights[j]*resid[j]
+		}
+	}
+	est := summarizeContributions(contrib)
+	est.ESS = mathx.EffectiveSampleSize(weights)
+	est.MaxWeight = maxW
+	return est, nil
+}

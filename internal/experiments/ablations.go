@@ -25,37 +25,39 @@ func Ablations(runs int, seed int64) (Result, error) {
 	}
 
 	// --- Clipping / SWITCH / self-normalization on the Figure 7b corpus.
+	// The trace is interned into one columnar view per run, shared by all
+	// seven variants, so the per-record policy/model work happens once.
 	type variant struct {
 		name string
-		eval func(d *abr.Data, np core.Policy[abr.Chunk, int], model core.RewardModel[abr.Chunk, int]) (float64, error)
+		eval func(v *core.TraceView[abr.Chunk, int], np core.Policy[abr.Chunk, int], model core.RewardModel[abr.Chunk, int]) (float64, error)
 	}
 	variants := []variant{
-		{"DR unclipped", func(d *abr.Data, np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
-			e, err := core.DoublyRobust(d.Trace, np, m, core.DROptions{})
+		{"DR unclipped", func(v *core.TraceView[abr.Chunk, int], np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
+			e, err := core.DoublyRobustView(v, np, m, core.DROptions{})
 			return e.Value, err
 		}},
-		{"DR clip 2", func(d *abr.Data, np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
-			e, err := core.DoublyRobust(d.Trace, np, m, core.DROptions{Clip: 2})
+		{"DR clip 2", func(v *core.TraceView[abr.Chunk, int], np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
+			e, err := core.DoublyRobustView(v, np, m, core.DROptions{Clip: 2})
 			return e.Value, err
 		}},
-		{"DR clip 8", func(d *abr.Data, np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
-			e, err := core.DoublyRobust(d.Trace, np, m, core.DROptions{Clip: 8})
+		{"DR clip 8", func(v *core.TraceView[abr.Chunk, int], np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
+			e, err := core.DoublyRobustView(v, np, m, core.DROptions{Clip: 8})
 			return e.Value, err
 		}},
-		{"DR clip 20", func(d *abr.Data, np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
-			e, err := core.DoublyRobust(d.Trace, np, m, core.DROptions{Clip: 20})
+		{"DR clip 20", func(v *core.TraceView[abr.Chunk, int], np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
+			e, err := core.DoublyRobustView(v, np, m, core.DROptions{Clip: 20})
 			return e.Value, err
 		}},
-		{"SNDR clip 8", func(d *abr.Data, np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
-			e, err := core.DoublyRobust(d.Trace, np, m, core.DROptions{Clip: 8, SelfNormalize: true})
+		{"SNDR clip 8", func(v *core.TraceView[abr.Chunk, int], np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
+			e, err := core.DoublyRobustView(v, np, m, core.DROptions{Clip: 8, SelfNormalize: true})
 			return e.Value, err
 		}},
-		{"SWITCH tau 8", func(d *abr.Data, np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
-			e, err := core.SwitchDR(d.Trace, np, m, core.SwitchOptions{Tau: 8})
+		{"SWITCH tau 8", func(v *core.TraceView[abr.Chunk, int], np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
+			e, err := core.SwitchDRView(v, np, m, core.SwitchOptions{Tau: 8})
 			return e.Value, err
 		}},
-		{"SWITCH auto", func(d *abr.Data, np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
-			e, err := core.SwitchDR(d.Trace, np, m, core.SwitchOptions{})
+		{"SWITCH auto", func(v *core.TraceView[abr.Chunk, int], np core.Policy[abr.Chunk, int], m core.RewardModel[abr.Chunk, int]) (float64, error) {
+			e, err := core.SwitchDRView(v, np, m, core.SwitchOptions{})
 			return e.Value, err
 		}},
 	}
@@ -69,9 +71,13 @@ func Ablations(runs int, seed int64) (Result, error) {
 		}
 		np := d.NewPolicy(0)
 		truth := d.GroundTruth(np)
+		view, err := core.NewTraceView(d.Trace)
+		if err != nil {
+			return Result{}, err
+		}
 		model := core.RewardFunc[abr.Chunk, int](d.ModelReward)
 		for i, v := range variants {
-			val, err := v.eval(d, np, model)
+			val, err := v.eval(view, np, model)
 			if err != nil {
 				return Result{}, fmt.Errorf("%s: %w", v.name, err)
 			}
@@ -97,11 +103,15 @@ func Ablations(runs int, seed int64) (Result, error) {
 			}
 			np := w.NewPolicy(0.4, rng)
 			truth := d.GroundTruth(np)
+			v, err := core.NewTraceViewKeyed(d.Trace, clientKey)
+			if err != nil {
+				return Result{}, err
+			}
 			kk := k
 			fit := func(tr core.Trace[cfa.Client, cfa.Decision]) (core.RewardModel[cfa.Client, cfa.Decision], error) {
 				return (&cfa.Data{Trace: tr, World: d.World}).PerDecisionKNNModel(kk)
 			}
-			dr, err := core.CrossFitDR(d.Trace, np, fit, 2, core.DROptions{})
+			dr, err := core.CrossFitDRView(v, np, fit, 2, core.DROptions{})
 			if err != nil {
 				return Result{}, err
 			}

@@ -90,11 +90,15 @@ func ExplorationDesign(runs int, seed int64) (Result, error) {
 			biased := core.RewardFunc[float64, int](func(x float64, d int) float64 {
 				return trueReward(x, d) + 0.25
 			})
-			dr, err := core.DoublyRobust(tr, candidate, biased, core.DROptions{})
+			v, err := core.NewTraceView(tr)
 			if err != nil {
 				return Result{}, err
 			}
-			diag, err := core.Diagnose(tr, candidate)
+			dr, err := core.DoublyRobustView(v, candidate, biased, core.DROptions{})
+			if err != nil {
+				return Result{}, err
+			}
+			diag, err := core.DiagnoseView(v, candidate)
 			if err != nil {
 				return Result{}, err
 			}

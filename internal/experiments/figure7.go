@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"drnet/internal/abr"
 	"drnet/internal/cdnsim"
@@ -28,19 +30,23 @@ func Figure7a(runs int, seed int64) (Result, error) {
 		}
 		np := w.NewPolicy()
 		truth := d.GroundTruth(np)
+		v, err := core.NewTraceView(d.Trace)
+		if err != nil {
+			return runOut{}, err
+		}
 		model, err := d.WISEModel(2)
 		if err != nil {
 			return runOut{}, err
 		}
-		wise, err := core.DirectMethod(d.Trace, np, model)
+		wise, err := core.DirectMethodView(v, np, model)
 		if err != nil {
 			return runOut{}, err
 		}
-		ips, err := core.IPS(d.Trace, np, core.IPSOptions{})
+		ips, err := core.IPSView(v, np, core.IPSOptions{})
 		if err != nil {
 			return runOut{}, err
 		}
-		dr, err := core.DoublyRobust(d.Trace, np, model, core.DROptions{})
+		dr, err := core.DoublyRobustView(v, np, model, core.DROptions{})
 		if err != nil {
 			return runOut{}, err
 		}
@@ -49,7 +55,7 @@ func Figure7a(runs int, seed int64) (Result, error) {
 		if err != nil {
 			return runOut{}, err
 		}
-		full, err := core.DirectMethod(d.Trace, np, fullModel)
+		full, err := core.DirectMethodView(v, np, fullModel)
 		if err != nil {
 			return runOut{}, err
 		}
@@ -125,16 +131,20 @@ func Figure7b(runs, sessionsPerRun int, seed int64) (Result, error) {
 		}
 		np := d.NewPolicy(0)
 		truth := d.GroundTruth(np)
+		v, err := core.NewTraceView(d.Trace)
+		if err != nil {
+			return runOut{}, err
+		}
 		model := core.RewardFunc[abr.Chunk, int](d.ModelReward)
-		dm, err := core.DirectMethod(d.Trace, np, model)
+		dm, err := core.DirectMethodView(v, np, model)
 		if err != nil {
 			return runOut{}, err
 		}
-		ips, err := core.IPS(d.Trace, np, core.IPSOptions{Clip: 8})
+		ips, err := core.IPSView(v, np, core.IPSOptions{Clip: 8})
 		if err != nil {
 			return runOut{}, err
 		}
-		dr, err := core.DoublyRobust(d.Trace, np, model, core.DROptions{Clip: 8})
+		dr, err := core.DoublyRobustView(v, np, model, core.DROptions{Clip: 8})
 		if err != nil {
 			return runOut{}, err
 		}
@@ -167,6 +177,18 @@ func Figure7b(runs, sessionsPerRun int, seed int64) (Result, error) {
 	return res, nil
 }
 
+// clientKey interns CFA clients by their full feature vector — the only
+// field Client has, so no policy or model can distinguish two clients
+// that share a key and the keyed TraceView stays faithful.
+func clientKey(c cfa.Client) string {
+	var b strings.Builder
+	for _, f := range c.Features {
+		b.WriteString(strconv.Itoa(f))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
 // Figure7c reproduces the paper's Figure 7c ("Variance"): the CFA
 // exact-matching evaluator versus DR with a k-NN direct model on the
 // randomized-logging video-QoE world. The paper reports DR's error ≈36%
@@ -190,7 +212,11 @@ func Figure7c(runs, clients int, seed int64) (Result, error) {
 		}
 		np := w.NewPolicy(0.4, rng)
 		truth := d.GroundTruth(np)
-		matched, err := core.MatchedRewards(d.Trace, np)
+		v, err := core.NewTraceViewKeyed(d.Trace, clientKey)
+		if err != nil {
+			return runOut{}, err
+		}
+		matched, err := core.MatchedRewardsView(v, np)
 		if err != nil {
 			return runOut{}, err
 		}
@@ -198,14 +224,14 @@ func Figure7c(runs, clients int, seed int64) (Result, error) {
 		if err != nil {
 			return runOut{}, err
 		}
-		dm, err := core.DirectMethod(d.Trace, np, model)
+		dm, err := core.DirectMethodView(v, np, model)
 		if err != nil {
 			return runOut{}, err
 		}
 		fit := func(tr core.Trace[cfa.Client, cfa.Decision]) (core.RewardModel[cfa.Client, cfa.Decision], error) {
 			return (&cfa.Data{Trace: tr, World: d.World}).PerDecisionKNNModel(3)
 		}
-		dr, err := core.CrossFitDR(d.Trace, np, fit, 2, core.DROptions{})
+		dr, err := core.CrossFitDRView(v, np, fit, 2, core.DROptions{})
 		if err != nil {
 			return runOut{}, err
 		}

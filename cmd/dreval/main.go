@@ -13,10 +13,17 @@
 // -estimate-propensities to estimate them from per-context-group
 // decision frequencies.
 //
+// Pass -windows N to append a windowed bias-observatory report (per
+// window: ESS/N, weight mass, zero-support, coverage entropy, reward
+// moments) with CUSUM drift alarms over the window series. -diagnose
+// stops after the diagnostics — overlap plus windowed report — without
+// running the estimators.
+//
 // Usage:
 //
 //	dreval -trace trace.csv -policy constant:cdnA [-format csv]
 //	       [-estimate-propensities] [-clip 0] [-bootstrap 200]
+//	       [-windows 8] [-diagnose]
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"os"
 
+	"drnet/internal/biasobs"
 	"drnet/internal/core"
 	"drnet/internal/mathx"
 	"drnet/internal/traceio"
@@ -39,19 +47,28 @@ func main() {
 		selfNorm  = flag.Bool("self-normalize", false, "use self-normalized IPS/DR")
 		bootstrap = flag.Int("bootstrap", 200, "bootstrap resamples for the DR confidence interval (0 = off)")
 		seed      = flag.Int64("seed", 1, "RNG seed for the bootstrap")
+		windows   = flag.Int("windows", 0, "index windows for the bias-observatory report (0 = off)")
+		diagOnly  = flag.Bool("diagnose", false, "print diagnostics only, skip the estimators")
 	)
 	flag.Parse()
 	if *tracePath == "" || *policy == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *format, *policy, *estProp, *clip, *selfNorm, *bootstrap, *seed); err != nil {
+	if *windows < 0 {
+		fmt.Fprintln(os.Stderr, "dreval: -windows must be >= 0")
+		os.Exit(2)
+	}
+	if *diagOnly && *windows == 0 {
+		*windows = biasobs.DefaultWindows
+	}
+	if err := run(*tracePath, *format, *policy, *estProp, *clip, *selfNorm, *bootstrap, *seed, *windows, *diagOnly); err != nil {
 		fmt.Fprintf(os.Stderr, "dreval: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, format, policySpec string, estProp bool, clip float64, selfNorm bool, bootstrapB int, seed int64) error {
+func run(tracePath, format, policySpec string, estProp bool, clip float64, selfNorm bool, bootstrapB int, seed int64, windows int, diagOnly bool) error {
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
@@ -93,6 +110,21 @@ func run(tracePath, format, policySpec string, estProp bool, clip float64, selfN
 	fmt.Printf("trace: %d records, %d distinct decisions\n", len(trace), len(trace.DecisionCounts()))
 	fmt.Printf("old policy on-policy value: %.4f\n", trace.MeanReward())
 	fmt.Printf("overlap: %s\n\n", diag)
+
+	if windows > 0 {
+		view, err := core.NewTraceViewKeyed(trace, key)
+		if err != nil {
+			return err
+		}
+		report, err := biasobs.Compute(view, newPolicy, biasobs.Config{Windows: windows})
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Render())
+	}
+	if diagOnly {
+		return nil
+	}
 
 	model := core.FitTable(trace, func(c traceio.FlatContext, d string) string {
 		return c.Key() + "|" + d

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"drnet/internal/core"
@@ -47,14 +49,14 @@ func writeTestTrace(t *testing.T, blankPropensities bool) string {
 
 func TestRunConstantPolicy(t *testing.T) {
 	path := writeTestTrace(t, false)
-	if err := run(path, "csv", "constant:c", false, 0, false, 50, 1); err != nil {
+	if err := run(path, "csv", "constant:c", false, 0, false, 50, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBestObserved(t *testing.T) {
 	path := writeTestTrace(t, false)
-	if err := run(path, "csv", "best-observed", false, 10, true, 0, 1); err != nil {
+	if err := run(path, "csv", "best-observed", false, 10, true, 0, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -62,27 +64,27 @@ func TestRunBestObserved(t *testing.T) {
 func TestRunEstimatesPropensities(t *testing.T) {
 	path := writeTestTrace(t, true)
 	// Without estimation the trace is invalid...
-	if err := run(path, "csv", "constant:c", false, 0, false, 0, 1); err == nil {
+	if err := run(path, "csv", "constant:c", false, 0, false, 0, 1, 0, false); err == nil {
 		t.Fatal("expected validation error for zero propensities")
 	}
 	// ...with estimation it works.
-	if err := run(path, "csv", "constant:c", true, 0, false, 0, 1); err != nil {
+	if err := run(path, "csv", "constant:c", true, 0, false, 0, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/does/not/exist.csv", "csv", "constant:c", false, 0, false, 0, 1); err == nil {
+	if err := run("/does/not/exist.csv", "csv", "constant:c", false, 0, false, 0, 1, 0, false); err == nil {
 		t.Fatal("expected file error")
 	}
 	path := writeTestTrace(t, false)
-	if err := run(path, "tsv", "constant:c", false, 0, false, 0, 1); err == nil {
+	if err := run(path, "tsv", "constant:c", false, 0, false, 0, 1, 0, false); err == nil {
 		t.Fatal("expected format error")
 	}
-	if err := run(path, "csv", "wat", false, 0, false, 0, 1); err == nil {
+	if err := run(path, "csv", "wat", false, 0, false, 0, 1, 0, false); err == nil {
 		t.Fatal("expected policy error")
 	}
-	if err := run(path, "csv", "constant:", false, 0, false, 0, 1); err == nil {
+	if err := run(path, "csv", "constant:", false, 0, false, 0, 1, 0, false); err == nil {
 		t.Fatal("expected empty-decision error")
 	}
 }
@@ -113,6 +115,61 @@ func TestBuildPolicyBestObserved(t *testing.T) {
 	}
 }
 
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns everything it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-done
+	os.Stdout = orig
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", runErr, out)
+	}
+	return out
+}
+
+func TestRunWindowedReport(t *testing.T) {
+	path := writeTestTrace(t, false)
+	out := captureStdout(t, func() error {
+		return run(path, "csv", "constant:c", false, 0, false, 0, 1, 6, false)
+	})
+	if !strings.Contains(out, "bias observatory:") {
+		t.Fatalf("windowed report missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "grade=") {
+		t.Fatalf("report grade missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "DM") {
+		t.Fatalf("estimators missing without -diagnose:\n%s", out)
+	}
+}
+
+func TestRunDiagnoseOnlySkipsEstimators(t *testing.T) {
+	path := writeTestTrace(t, false)
+	out := captureStdout(t, func() error {
+		return run(path, "csv", "constant:c", false, 0, false, 0, 1, 8, true)
+	})
+	if !strings.Contains(out, "bias observatory:") {
+		t.Fatalf("windowed report missing from output:\n%s", out)
+	}
+	if strings.Contains(out, "DM") || strings.Contains(out, "IPS:") {
+		t.Fatalf("-diagnose still ran the estimators:\n%s", out)
+	}
+}
+
 func TestRunJSONL(t *testing.T) {
 	// Convert the CSV fixture to JSONL and evaluate.
 	path := writeTestTrace(t, false)
@@ -134,7 +191,7 @@ func TestRunJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	jf.Close()
-	if err := run(jpath, "jsonl", "constant:b", false, 0, false, 0, 1); err != nil {
+	if err := run(jpath, "jsonl", "constant:b", false, 0, false, 0, 1, 0, false); err != nil {
 		t.Fatal(err)
 	}
 }

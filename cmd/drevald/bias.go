@@ -1,0 +1,183 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"drnet/internal/biasobs"
+	"drnet/internal/changepoint"
+	"drnet/internal/core"
+	"drnet/internal/obs"
+	"drnet/internal/traceio"
+)
+
+// Bias-observatory knobs, flag-configured in main (-bias-windows,
+// -bias-drift-threshold, -degrade-on-drift). Package variables so the
+// lifecycle tests can tighten them, like the resilience knobs.
+var (
+	// biasWindows is how many index windows each request's trace is
+	// sliced into for the windowed health pass; 0 disables the
+	// observatory entirely (no traceHealth blocks, /debug/bias 404s).
+	biasWindows = biasobs.DefaultWindows
+	// biasDriftThreshold is the CUSUM decision threshold (σ units) for
+	// the drift alarms on the per-window reward/ESS series.
+	biasDriftThreshold = changepoint.DefaultThreshold
+	// degradeOnDrift, when set, escalates a fired drift alarm into a
+	// degraded:true /evaluate response with a trace_drift reason.
+	degradeOnDrift = false
+)
+
+// biasState is the most recent request's observatory output, published
+// for GET /debug/bias. drevald is stateless per request — the trace
+// arrives in the POST body — so the observatory necessarily reports on
+// the last trace observed, stamped with the request that carried it.
+type biasState struct {
+	report    *biasobs.Report
+	requestID string
+	when      time.Time
+}
+
+var lastBias atomic.Pointer[biasState]
+
+// traceSummary describes the last trace view drevald built, surfaced
+// on /healthz so operators can confirm what the server actually
+// evaluated (and how long the columnar build took).
+type traceSummary struct {
+	records      int
+	contexts     int
+	decisions    int
+	buildSeconds float64
+	when         time.Time
+}
+
+var lastTraceSummary atomic.Pointer[traceSummary]
+
+// biasMetrics is the drevald_bias_* family: report/alarm counters plus
+// last-report gauges, so a fleet's estimator health is scrapeable
+// without polling /debug/bias.
+type biasMetrics struct {
+	reports *obs.Counter
+	alarms  *obs.Counter
+	grade   *obs.Gauge
+	minESS  *obs.Gauge
+	maxZero *obs.Gauge
+	windows *obs.Gauge
+}
+
+// registerBiasMetrics creates the family on r. Factored out of init so
+// the OpenMetrics golden test can build the same family on a fresh
+// registry with deterministic values.
+func registerBiasMetrics(r *obs.Registry) biasMetrics {
+	r.Help("drevald_bias_reports_total", "Bias-observatory reports computed (one per /evaluate or /diagnose request).")
+	r.Help("drevald_bias_alarms_total", "Windowed drift alarms fired across all bias-observatory reports.")
+	r.Help("drevald_bias_last_grade", "Health grade of the most recent report: 0 healthy, 1 watch, 2 drift.")
+	r.Help("drevald_bias_last_min_ess_ratio", "Smallest per-window ESS/N in the most recent report.")
+	r.Help("drevald_bias_last_max_zero_support", "Largest per-window zero-support fraction in the most recent report.")
+	r.Help("drevald_bias_last_windows", "Window count of the most recent report.")
+	return biasMetrics{
+		reports: r.Counter("drevald_bias_reports_total"),
+		alarms:  r.Counter("drevald_bias_alarms_total"),
+		grade:   r.Gauge("drevald_bias_last_grade"),
+		minESS:  r.Gauge("drevald_bias_last_min_ess_ratio"),
+		maxZero: r.Gauge("drevald_bias_last_max_zero_support"),
+		windows: r.Gauge("drevald_bias_last_windows"),
+	}
+}
+
+var biasM = registerBiasMetrics(obs.Default)
+
+// gradeValue maps the health grade onto the drevald_bias_last_grade
+// gauge scale.
+func gradeValue(grade string) float64 {
+	switch grade {
+	case biasobs.GradeWatch:
+		return 1
+	case biasobs.GradeDrift:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// observeBias runs the windowed observatory over the request's view as
+// its own traced phase, publishes the report (for /debug/bias,
+// /healthz and the drevald_bias_* gauges) and returns the compact
+// summary embedded in the response body. Returns (nil, nil) when the
+// observatory is disabled.
+func observeBias(ctx context.Context, root *obs.Span, id string, view *core.TraceView[traceio.FlatContext, string], policy core.Policy[traceio.FlatContext, string]) (*biasobs.HealthSummary, error) {
+	if biasWindows <= 0 {
+		return nil, nil
+	}
+	report, err := timed(root, "bias_observatory", func() (*biasobs.Report, error) {
+		return biasobs.ComputeCtx(ctx, view, policy, biasobs.Config{
+			Windows:        biasWindows,
+			DriftThreshold: biasDriftThreshold,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	lastBias.Store(&biasState{report: report, requestID: id, when: time.Now()})
+	s := report.Summary()
+	biasM.reports.Inc()
+	biasM.alarms.Add(uint64(s.Alarms))
+	biasM.grade.Set(gradeValue(s.Grade))
+	biasM.minESS.Set(s.MinESSRatio)
+	biasM.maxZero.Set(s.MaxZeroSupportFrac)
+	biasM.windows.Set(float64(s.Windows))
+	if s.Grade != biasobs.GradeHealthy {
+		srvLog.Warn("bias observatory", "id", id, "grade", s.Grade, "alarms", s.Alarms)
+	}
+	return &s, nil
+}
+
+// recordTraceSummary publishes the view drevald just built for the
+// /healthz lastTrace block.
+func recordTraceSummary(view *core.TraceView[traceio.FlatContext, string], buildDur time.Duration) {
+	lastTraceSummary.Store(&traceSummary{
+		records:      view.Len(),
+		contexts:     view.NumContexts(),
+		decisions:    view.NumDecisions(),
+		buildSeconds: buildDur.Seconds(),
+		when:         time.Now(),
+	})
+}
+
+// lastTraceJSON is the /healthz lastTrace block.
+type lastTraceJSON struct {
+	Records          int     `json:"records"`
+	UniqueContexts   int     `json:"uniqueContexts"`
+	UniqueDecisions  int     `json:"uniqueDecisions"`
+	ViewBuildSeconds float64 `json:"viewBuildSeconds"`
+	AgeSeconds       float64 `json:"ageSeconds"`
+}
+
+// biasResponse is the GET /debug/bias body: the full report plus the
+// identity and age of the request it was computed for.
+type biasResponse struct {
+	RequestID  string  `json:"requestId"`
+	AgeSeconds float64 `json:"ageSeconds"`
+	*biasobs.Report
+}
+
+// handleBias serves the most recent bias-observatory report. 404 with
+// a machine-readable error until the first /evaluate or /diagnose
+// request arrives (or when the observatory is disabled).
+func handleBias(w http.ResponseWriter, _ *http.Request) {
+	if biasWindows <= 0 {
+		httpError(w, http.StatusNotFound, "bias observatory disabled (-bias-windows 0)")
+		return
+	}
+	st := lastBias.Load()
+	if st == nil {
+		httpError(w, http.StatusNotFound, biasobs.ErrNoView.Error())
+		return
+	}
+	writeJSON(w, biasResponse{
+		RequestID:  st.requestID,
+		AgeSeconds: time.Since(st.when).Seconds(),
+		Report:     st.report,
+	})
+}

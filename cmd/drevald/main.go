@@ -70,6 +70,7 @@ import (
 	"syscall"
 	"time"
 
+	"drnet/internal/biasobs"
 	"drnet/internal/core"
 	"drnet/internal/obs"
 	"drnet/internal/parallel"
@@ -90,6 +91,9 @@ func main() {
 	weightCeiling := flag.Float64("max-weight-ceiling", degradeThresholds.MaxWeightCeiling, "degrade /evaluate responses when the largest importance weight exceeds this (0 = disabled)")
 	zeroCap := flag.Float64("zero-support-cap", degradeThresholds.ZeroSupportCap, "degrade /evaluate responses when the zero-support record fraction exceeds this (0 = disabled)")
 	fbClip := flag.Float64("fallback-clip", fallbackClip, "importance-weight clip of the degraded-mode fallback estimator (must be > 0)")
+	bWindows := flag.Int("bias-windows", biasWindows, "windows the bias observatory slices each request's trace into (0 = observatory disabled)")
+	bDrift := flag.Float64("bias-drift-threshold", biasDriftThreshold, "CUSUM decision threshold in sigma units for the observatory's drift alarms (must be > 0)")
+	degradeDrift := flag.Bool("degrade-on-drift", degradeOnDrift, "tag /evaluate responses degraded with a trace_drift reason when a drift alarm fires")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line (JSONL) to this file (empty = disabled)")
 	traceBuffer := flag.Int("trace-buffer", traceRecorder.Capacity(), "completed spans kept in memory for /debug/traces (must be >= 1)")
 	flag.Parse()
@@ -120,6 +124,15 @@ func main() {
 		ZeroSupportCap:   *zeroCap,
 	}
 	fallbackClip = *fbClip
+	if *bWindows < 0 {
+		log.Fatalf("drevald: -bias-windows must be >= 0, got %d", *bWindows)
+	}
+	if *bDrift <= 0 {
+		log.Fatalf("drevald: -bias-drift-threshold must be > 0, got %g", *bDrift)
+	}
+	biasWindows = *bWindows
+	biasDriftThreshold = *bDrift
+	degradeOnDrift = *degradeDrift
 	if *traceBuffer < 1 {
 		log.Fatalf("drevald: -trace-buffer must be >= 1, got %d", *traceBuffer)
 	}
@@ -257,6 +270,7 @@ func newMux() *http.ServeMux {
 	mux.Handle("GET /metrics", instrument("/metrics", handleMetrics))
 	mux.Handle("GET /debug/vars", instrument("/debug/vars", handleVars))
 	mux.Handle("GET /debug/traces", instrument("/debug/traces", handleTraces))
+	mux.Handle("GET /debug/bias", instrument("/debug/bias", handleBias))
 	return mux
 }
 
@@ -269,16 +283,35 @@ type healthJSON struct {
 	Version               string  `json:"version"`
 	DrainTimeoutSeconds   float64 `json:"drainTimeoutSeconds"`
 	RequestTimeoutSeconds float64 `json:"requestTimeoutSeconds"`
+	// LastTrace describes the most recent trace view the server built
+	// (absent until the first /evaluate or /diagnose request), so
+	// operators can confirm what drevald actually evaluated. BiasGrade
+	// is the most recent bias-observatory verdict, when one exists.
+	LastTrace *lastTraceJSON `json:"lastTrace,omitempty"`
+	BiasGrade string         `json:"biasGrade,omitempty"`
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, healthJSON{
+	h := healthJSON{
 		Status:                "ok",
 		UptimeSeconds:         time.Since(serverStart).Seconds(),
 		Version:               obs.Version(),
 		DrainTimeoutSeconds:   drainTimeout.Seconds(),
 		RequestTimeoutSeconds: requestTimeout.Seconds(),
-	})
+	}
+	if ts := lastTraceSummary.Load(); ts != nil {
+		h.LastTrace = &lastTraceJSON{
+			Records:          ts.records,
+			UniqueContexts:   ts.contexts,
+			UniqueDecisions:  ts.decisions,
+			ViewBuildSeconds: ts.buildSeconds,
+			AgeSeconds:       time.Since(ts.when).Seconds(),
+		}
+	}
+	if st := lastBias.Load(); st != nil {
+		h.BiasGrade = st.report.Grade
+	}
+	writeJSON(w, h)
 }
 
 // evalOptions mirrors the request "options" object.
@@ -334,12 +367,16 @@ type intervalJSON struct {
 // failed on (and which the interval therefore excludes), so clients can
 // tell a fragile CI from a solid one.
 type evalResponse struct {
-	DM               estimateJSON    `json:"dm"`
-	IPS              estimateJSON    `json:"ips"`
-	DR               estimateJSON    `json:"dr"`
-	Diagnostics      diagnosticsJSON `json:"diagnostics"`
-	DRInterval       *intervalJSON   `json:"drInterval,omitempty"`
-	BootstrapSkipped *int            `json:"bootstrapSkipped,omitempty"`
+	DM          estimateJSON    `json:"dm"`
+	IPS         estimateJSON    `json:"ips"`
+	DR          estimateJSON    `json:"dr"`
+	Diagnostics diagnosticsJSON `json:"diagnostics"`
+	// TraceHealth is the bias observatory's compact verdict on the
+	// request's trace (windowed ESS/zero-support extremes, drift alarm
+	// count, overall grade). Absent when -bias-windows is 0.
+	TraceHealth      *biasobs.HealthSummary `json:"traceHealth,omitempty"`
+	DRInterval       *intervalJSON          `json:"drInterval,omitempty"`
+	BootstrapSkipped *int                   `json:"bootstrapSkipped,omitempty"`
 	// Degraded is true when the trace's overlap diagnostics crossed a
 	// configured threshold (see -ess-ratio-floor and friends): the
 	// requested estimates are still returned, but DegradedReasons says
@@ -501,6 +538,13 @@ func recoverGoroutine(name string) {
 	}
 }
 
+// diagnoseResponse is the /diagnose body: the flat diagnostics plus
+// the bias observatory's windowed verdict.
+type diagnoseResponse struct {
+	diagnosticsJSON
+	TraceHealth *biasobs.HealthSummary `json:"traceHealth,omitempty"`
+}
+
 func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	_, trace, policy, ok := decodeRequest(w, r)
 	if !ok {
@@ -509,6 +553,7 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := requestCtx(r)
 	defer cancel()
 	root := obs.SpanFromContext(r.Context())
+	buildStart := time.Now()
 	view, err := timed(root, "build_view", func() (*core.TraceView[traceio.FlatContext, string], error) {
 		return core.NewTraceViewKeyedCtx(ctx, trace, traceio.FlatContext.Key)
 	})
@@ -516,6 +561,7 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeEvalError(w, err)
 		return
 	}
+	recordTraceSummary(view, time.Since(buildStart))
 	diag, err := timed(root, "diagnose", func() (core.Diagnostics, error) {
 		return core.DiagnoseViewCtx(ctx, view, policy)
 	})
@@ -523,7 +569,12 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		writeEvalError(w, err)
 		return
 	}
-	writeJSON(w, diagJSON(diag))
+	health, err := observeBias(ctx, root, requestID(r), view, policy)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	writeJSON(w, diagnoseResponse{diagnosticsJSON: diagJSON(diag), TraceHealth: health})
 }
 
 func handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -538,6 +589,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// (diagnostics, model fit, estimators, bootstrap) reads the shared
 	// view — bit-identical results to the record-slice path, proved by
 	// internal/core's view equivalence suite.
+	buildStart := time.Now()
 	view, err := timed(root, "build_view", func() (*core.TraceView[traceio.FlatContext, string], error) {
 		return core.NewTraceViewKeyedCtx(ctx, trace, traceio.FlatContext.Key)
 	})
@@ -545,9 +597,15 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeEvalError(w, err)
 		return
 	}
+	recordTraceSummary(view, time.Since(buildStart))
 	diag, err := timed(root, "diagnose", func() (core.Diagnostics, error) {
 		return core.DiagnoseViewCtx(ctx, view, policy)
 	})
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	health, err := observeBias(ctx, root, requestID(r), view, policy)
 	if err != nil {
 		writeEvalError(w, err)
 		return
@@ -590,12 +648,19 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeEvalError(w, err)
 		return
 	}
-	resp := evalResponse{DM: toJSON(dm), IPS: toJSON(ips), DR: toJSON(dr), Diagnostics: diagJSON(diag)}
+	resp := evalResponse{DM: toJSON(dm), IPS: toJSON(ips), DR: toJSON(dr), Diagnostics: diagJSON(diag), TraceHealth: health}
 	// Graceful degradation: when the overlap diagnostics cross a
 	// configured threshold the response still carries every requested
 	// estimate, but is tagged degraded with machine-readable reasons
 	// and a variance-robust fallback — never a bare error.
-	if reasons := degradeThresholds.Check(diag.N, diag.ESS, diag.MaxWeight, diag.ZeroSupport); len(reasons) > 0 {
+	reasons := degradeThresholds.Check(diag.N, diag.ESS, diag.MaxWeight, diag.ZeroSupport)
+	// Optional drift escalation: a fired windowed-drift alarm means the
+	// trace mixes regimes, so whole-trace estimates are suspect even
+	// when every overlap diagnostic looks fine.
+	if degradeOnDrift && health != nil && health.Alarms > 0 {
+		reasons = append(reasons, resilience.DriftReason(health.Alarms, biasDriftThreshold))
+	}
+	if len(reasons) > 0 {
 		// The degraded path is an error from the observability side even
 		// though the response is a 200: mark the request's root span so
 		// obs_span_errors_total{span="http/evaluate"} and the timeline

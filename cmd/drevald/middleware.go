@@ -69,6 +69,10 @@ var tracedRoutes = map[string]bool{
 func init() {
 	obs.Default.SetTraceRecorder(traceRecorder)
 	obs.RegisterRuntimeMetrics(obs.Default)
+	// JSONL-export loss counter: the sampler reads the registry's
+	// current recorder, so the -trace-buffer replacement at startup is
+	// covered.
+	obs.RegisterTraceSinkMetrics(obs.Default)
 	obs.Default.Help("obs_span_seconds", "Span durations by span name; bucket exemplars carry the trace ID.")
 	obs.Default.Help("obs_span_errors_total", "Spans ended in error state, by span name.")
 	obs.Default.Help("drevald_http_requests_total", "HTTP requests served, by route and status class.")
@@ -293,6 +297,7 @@ func newDebugMux() *http.ServeMux {
 	mux.HandleFunc("GET /metrics", handleMetrics)
 	mux.HandleFunc("GET /debug/vars", handleVars)
 	mux.HandleFunc("GET /debug/traces", handleTraces)
+	mux.HandleFunc("GET /debug/bias", handleBias)
 	return mux
 }
 

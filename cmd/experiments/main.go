@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"drnet/internal/biasobs"
 	"drnet/internal/experiments"
 	"drnet/internal/obs"
 	"drnet/internal/parallel"
@@ -92,6 +93,11 @@ type manifestEntry struct {
 	// Allocs is the number of heap objects allocated during the
 	// experiment.
 	Allocs uint64 `json:"allocs"`
+	// TraceHealth is the bias-observatory summary of the experiment's
+	// run-0 logged trace (grade, windows, alarms, worst ESS/N and
+	// zero-support), for experiments that compute one — so a results
+	// table can be audited for trace pathologies after the fact.
+	TraceHealth *biasobs.HealthSummary `json:"traceHealth,omitempty"`
 }
 
 // memWatch measures one experiment's memory footprint: MemStats deltas
@@ -295,6 +301,7 @@ func runAll(ctx context.Context, w io.Writer, which string, runs int, seed int64
 		m.Experiments = append(m.Experiments, manifestEntry{
 			ID: jobs[i].id, WallSeconds: out.seconds,
 			PeakHeapBytes: out.peakHeap, GCCycles: out.gcCycles, Allocs: out.allocs,
+			TraceHealth: out.res.Health,
 		})
 		fmt.Fprintln(w, out.res.Render())
 	}

@@ -114,6 +114,31 @@ func TestRunManifest(t *testing.T) {
 	}
 }
 
+// TestManifestCarriesTraceHealth: the Figure 7 experiments attach their
+// run-0 bias-observatory summary, and it survives the JSON round trip
+// under the traceHealth key.
+func TestManifestCarriesTraceHealth(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := runAll(context.Background(), &buf, "F7b", 2, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Experiments) != 1 {
+		t.Fatalf("manifest entries %+v", m.Experiments)
+	}
+	th := m.Experiments[0].TraceHealth
+	if th == nil || th.Grade == "" || th.Windows == 0 {
+		t.Fatalf("manifest traceHealth = %+v", th)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"traceHealth"`)) || !bytes.Contains(b, []byte(`"grade"`)) {
+		t.Fatalf("serialized manifest missing traceHealth block:\n%s", b)
+	}
+}
+
 // TestRunAllInterrupted: a context cancelled before any experiment
 // starts skips every job and surfaces as an "interrupted" error, so an
 // operator's Ctrl-C never produces a silently truncated results table.

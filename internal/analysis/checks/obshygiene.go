@@ -8,20 +8,22 @@ import (
 )
 
 // metricNameRE is the repo's metric naming contract: drevald_* for the
-// server, obs_* for the observability layer's own series, go_* for
-// runtime gauges. One namespace per layer keeps dashboards greppable
-// and prevents collisions with scrape-time relabeling.
+// server (including the drevald_bias_* estimator-health family),
+// obs_* for the observability layer's own series, go_* for runtime
+// gauges. One namespace per layer keeps dashboards greppable and
+// prevents collisions with scrape-time relabeling.
 var metricNameRE = regexp.MustCompile(`^(drevald|obs|go)_[a-z0-9_]+$`)
 
 // ObsHygiene enforces the telemetry contracts that keep the
 // observability layer trustworthy: metric names must match
-// ^(drevald|obs|go)_[a-z0-9_]+$, logger key=value calls must have even
-// arity (an odd tail becomes !badkey noise), and Span.End must be
+// ^(drevald|obs|go)_[a-z0-9_]+$ and be non-empty, Help registrations
+// must carry a non-empty description, logger key=value calls must have
+// even arity (an odd tail becomes !badkey noise), and Span.End must be
 // deferred so panics and early returns still record the span.
 var ObsHygiene = &analysis.Analyzer{
 	Name: "obshygiene",
-	Doc: "metric-name policy, odd-arity key=value logger calls, and " +
-		"non-deferred Span.End",
+	Doc: "metric-name policy (incl. empty name/help strings), odd-arity " +
+		"key=value logger calls, and non-deferred Span.End",
 	Run: runObsHygiene,
 }
 
@@ -46,8 +48,18 @@ func runObsHygiene(pass *analysis.Pass) {
 			case namedFrom(recv, "internal/obs", "Registry"):
 				switch method {
 				case "Counter", "Gauge", "Histogram", "Help":
-					if name, ok := constStringArg(pass.Info, call, 0); ok && !metricNameRE.MatchString(name) {
-						pass.Reportf(call.Args[0].Pos(), "metric name %q violates the naming contract ^(drevald|obs|go)_[a-z0-9_]+$; pick the layer's prefix so dashboards and relabeling stay consistent", name)
+					if name, ok := constStringArg(pass.Info, call, 0); ok {
+						switch {
+						case name == "":
+							pass.Reportf(call.Args[0].Pos(), "empty metric name: the series registers but can never be scraped by name — give it a ^(drevald|obs|go)_ name")
+						case !metricNameRE.MatchString(name):
+							pass.Reportf(call.Args[0].Pos(), "metric name %q violates the naming contract ^(drevald|obs|go)_[a-z0-9_]+$; pick the layer's prefix so dashboards and relabeling stay consistent", name)
+						}
+					}
+					if method == "Help" {
+						if help, ok := constStringArg(pass.Info, call, 1); ok && help == "" {
+							pass.Reportf(call.Args[1].Pos(), "empty help string: the # HELP line renders blank on /metrics — describe what the series measures")
+						}
 					}
 				}
 			case namedFrom(recv, "internal/obs", "Logger"):

@@ -5,11 +5,18 @@ package fixture
 import "drnet/internal/obs"
 
 func metricNames() {
-	_ = obs.Default.Counter("drevald_requests_total") // server prefix: fine
-	_ = obs.Default.Gauge("obs_queue_depth")          // obs layer prefix: fine
-	_ = obs.Default.Counter("requests_total")         // want "violates the naming contract"
-	_ = obs.Default.Histogram("Bad-Name", nil)        // want "violates the naming contract"
+	_ = obs.Default.Counter("drevald_requests_total")    // server prefix: fine
+	_ = obs.Default.Gauge("obs_queue_depth")             // obs layer prefix: fine
+	_ = obs.Default.Counter("requests_total")            // want "violates the naming contract"
+	_ = obs.Default.Histogram("Bad-Name", nil)           // want "violates the naming contract"
 	obs.Default.Help("widget_total", "how many widgets") // want "violates the naming contract"
+}
+
+func emptyStrings() {
+	_ = obs.Default.Counter("")                           // want "empty metric name"
+	obs.Default.Help("", "described but nameless")        // want "empty metric name"
+	obs.Default.Help("obs_good_total", "")                // want "empty help string"
+	_ = obs.Default.Counter("drevald_bias_reports_total") // bias family: fine
 }
 
 func logging(l *obs.Logger) {

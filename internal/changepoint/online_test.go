@@ -1,0 +1,169 @@
+package changepoint
+
+import (
+	"math"
+	"testing"
+
+	"drnet/internal/mathx"
+)
+
+func TestCusumFiresOnLargeJumpImmediately(t *testing.T) {
+	det, err := NewCusum(0, 1, 0, 0) // defaults: κ=0.5, h=4
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if fired, _, _ := det.Update(0.1); fired {
+			t.Fatalf("fired on stationary value at i=%d", i)
+		}
+	}
+	fired, dir, stat := det.Update(6) // 6σ jump: z−κ = 5.5 ≥ 4
+	if !fired || dir != Up {
+		t.Fatalf("want immediate up firing, got fired=%v dir=%v", fired, dir)
+	}
+	if stat < DefaultThreshold {
+		t.Fatalf("firing statistic %g below threshold", stat)
+	}
+}
+
+func TestCusumDetectsDownShift(t *testing.T) {
+	det, err := NewCusum(1, 0.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired bool
+	var dir Direction
+	for i := 0; i < 20; i++ {
+		if f, d, _ := det.Update(0.2); f { // 1.6σ below reference
+			fired, dir = true, d
+			break
+		}
+	}
+	if !fired || dir != Down {
+		t.Fatalf("want down firing on sustained 1.6σ drop, got fired=%v dir=%v", fired, dir)
+	}
+}
+
+func TestCusumResetAfterFiring(t *testing.T) {
+	det, err := NewCusum(0, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired, _, _ := det.Update(10); !fired {
+		t.Fatal("want firing on 10σ jump")
+	}
+	// Statistics reset: a single in-regime value must not re-fire.
+	if fired, _, _ := det.Update(0); fired {
+		t.Fatal("detector did not reset after firing")
+	}
+}
+
+func TestNewCusumRejectsBadReference(t *testing.T) {
+	for _, tc := range []struct{ mean, scale float64 }{
+		{0, 0}, {0, -1}, {math.NaN(), 1}, {math.Inf(1), 1}, {0, math.Inf(1)},
+	} {
+		if _, err := NewCusum(tc.mean, tc.scale, 0, 0); err == nil {
+			t.Errorf("NewCusum(%g, %g) accepted invalid reference", tc.mean, tc.scale)
+		}
+	}
+}
+
+func TestCalibrateFloorsNearConstantPrefix(t *testing.T) {
+	mean, scale, err := Calibrate([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 5 {
+		t.Fatalf("mean = %g, want 5", mean)
+	}
+	if scale < 1e-12 || scale > 0.05+1e-12 {
+		t.Fatalf("scale = %g, want floored to 1%% of mean", scale)
+	}
+	// All-zero prefix: absolute epsilon floor keeps the detector valid.
+	_, scale, err = Calibrate([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1e-12 {
+		t.Fatalf("all-zero scale = %g, want 1e-12", scale)
+	}
+}
+
+func TestDetectShiftsFindsInjectedStep(t *testing.T) {
+	// 20-point series: N(0.2, 0.01) noise for 10 points, then a step to
+	// 0.9 — the alarm must land exactly on the first shifted index.
+	rng := mathx.NewRNG(7)
+	xs := make([]float64, 20)
+	for i := range xs {
+		base := 0.2
+		if i >= 10 {
+			base = 0.9
+		}
+		xs[i] = base + rng.Normal(0, 0.01)
+	}
+	shifts, err := DetectShifts(xs, 5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifts) == 0 {
+		t.Fatal("no shift detected on a 70σ step")
+	}
+	if shifts[0].Index != 10 {
+		t.Fatalf("first alarm at index %d, want exactly 10", shifts[0].Index)
+	}
+	if shifts[0].Direction != Up {
+		t.Fatalf("direction %v, want up", shifts[0].Direction)
+	}
+}
+
+func TestDetectShiftsSilentOnStationarySeries(t *testing.T) {
+	rng := mathx.NewRNG(11)
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = 0.5 + rng.Normal(0, 0.05)
+	}
+	shifts, err := DetectShifts(xs, 8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shifts) != 0 {
+		t.Fatalf("false alarms on stationary series: %+v", shifts)
+	}
+}
+
+func TestDetectShiftsDeterministic(t *testing.T) {
+	rng := mathx.NewRNG(3)
+	xs := make([]float64, 30)
+	for i := range xs {
+		base := 1.0
+		if i >= 15 {
+			base = 2.5
+		}
+		xs[i] = base + rng.Normal(0, 0.1)
+	}
+	a, err := DetectShifts(xs, 6, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DetectShifts(xs, 6, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic shift count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shift %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDetectShiftsArgErrors(t *testing.T) {
+	if _, err := DetectShifts([]float64{1, 2, 3}, 1, 0, 0); err == nil {
+		t.Error("warmup=1 accepted")
+	}
+	if s, err := DetectShifts([]float64{1, 2}, 2, 0, 0); err != nil || s != nil {
+		t.Errorf("series no longer than warmup: got %v, %v", s, err)
+	}
+}

@@ -182,6 +182,34 @@ func (v *TraceView[C, D]) At(i int) Record[C, D] {
 	}
 }
 
+// RewardAt returns record i's reward without reconstructing the record.
+func (v *TraceView[C, D]) RewardAt(i int) float64 { return v.rewards[i] }
+
+// PropensityAt returns record i's logged propensity.
+func (v *TraceView[C, D]) PropensityAt(i int) float64 { return v.propensities[i] }
+
+// ContextCode returns record i's interned context code, in
+// [0, NumContexts). Codes are assigned in first-occurrence order.
+func (v *TraceView[C, D]) ContextCode(i int) int { return int(v.ctxCodes[i]) }
+
+// DecisionCode returns record i's interned decision code, in
+// [0, NumDecisions).
+func (v *TraceView[C, D]) DecisionCode(i int) int { return int(v.decCodes[i]) }
+
+// ContextValue returns the dictionary representative of context code u
+// (the context of the first record that interned to u).
+func (v *TraceView[C, D]) ContextValue(u int) C { return v.contexts[u] }
+
+// DecisionValue returns the decision for dictionary code k.
+func (v *TraceView[C, D]) DecisionValue(k int) D { return v.decisions[k] }
+
+// DecisionIndex resolves a decision value to its dictionary code,
+// reporting false for decisions never logged in the trace.
+func (v *TraceView[C, D]) DecisionIndex(d D) (int, bool) {
+	k, ok := v.decIndex[d]
+	return int(k), ok
+}
+
 // Materialize reconstructs the full trace from the columns and
 // dictionaries (the interning round-trip the fuzz target checks).
 //

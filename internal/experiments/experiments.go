@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"strings"
 
+	"drnet/internal/biasobs"
+	"drnet/internal/core"
 	"drnet/internal/mathx"
 	"drnet/internal/parallel"
 )
@@ -41,6 +43,12 @@ type Result struct {
 	Rows []Row
 	// Notes carries any caveats worth printing with the table.
 	Notes []string
+	// Health, when set, is the bias-observatory summary of the run-0
+	// logged trace under the run-0 evaluated policy: a windowed
+	// estimator-health check (ESS, zero-support, reward drift) on the
+	// exact data the headline numbers were computed from. Advisory —
+	// an unhealthy grade flags the trace, it never fails the run.
+	Health *biasobs.HealthSummary
 }
 
 // Render formats the result as an aligned text table, in the style of
@@ -63,6 +71,10 @@ func (r Result) Render() string {
 		}
 		fmt.Fprintf(&sb, "  %-*s  %-12s %10.4f %10.4f %10.4f %10.4f\n",
 			width, row.Label, metric, row.Summary.Mean, row.Summary.Min, row.Summary.Max, row.Summary.Std)
+	}
+	if r.Health != nil {
+		fmt.Fprintf(&sb, "  trace health (run 0): grade=%s windows=%d alarms=%d minESS/N=%.3f maxZeroSupport=%.3f\n",
+			r.Health.Grade, r.Health.Windows, r.Health.Alarms, r.Health.MinESSRatio, r.Health.MaxZeroSupportFrac)
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&sb, "  note: %s\n", n)
@@ -95,6 +107,19 @@ func column[R any](outs []R, get func(R) float64) []float64 {
 		vals[i] = get(o)
 	}
 	return vals
+}
+
+// traceHealth runs the windowed bias observatory over one run's logged
+// trace and returns the compact summary recorded in Result.Health.
+// Errors degrade to nil: the health check is advisory and must never
+// fail an experiment that would otherwise produce numbers.
+func traceHealth[C any, D comparable](v *core.TraceView[C, D], p core.Policy[C, D]) *biasobs.HealthSummary {
+	rep, err := biasobs.Compute(v, p, biasobs.Config{})
+	if err != nil {
+		return nil
+	}
+	s := rep.Summary()
+	return &s
 }
 
 // Reduction returns the relative reduction of b versus a (1 - b/a), the

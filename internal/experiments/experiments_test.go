@@ -56,6 +56,9 @@ func TestFigure7a(t *testing.T) {
 	if res.Render() == "" {
 		t.Fatal("empty render")
 	}
+	if res.Health == nil || res.Health.Grade == "" {
+		t.Fatalf("run-0 trace health missing: %+v", res.Health)
+	}
 }
 
 func TestFigure7b(t *testing.T) {
@@ -69,6 +72,12 @@ func TestFigure7b(t *testing.T) {
 	if dr >= dm {
 		t.Fatalf("DR %g should beat FastMPC %g", dr, dm)
 	}
+	if res.Health == nil || res.Health.Grade == "" || res.Health.Windows == 0 {
+		t.Fatalf("run-0 trace health missing: %+v", res.Health)
+	}
+	if !strings.Contains(res.Render(), "trace health (run 0): grade=") {
+		t.Fatal("render missing trace-health line")
+	}
 }
 
 func TestFigure7c(t *testing.T) {
@@ -81,6 +90,9 @@ func TestFigure7c(t *testing.T) {
 	t.Logf("CFA %.4f DR %.4f", cfaErr, dr)
 	if dr >= cfaErr {
 		t.Fatalf("DR %g should beat CFA %g", dr, cfaErr)
+	}
+	if res.Health == nil || res.Health.Grade == "" {
+		t.Fatalf("run-0 trace health missing: %+v", res.Health)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"drnet/internal/abr"
+	"drnet/internal/biasobs"
 	"drnet/internal/cdnsim"
 	"drnet/internal/cfa"
 	"drnet/internal/core"
@@ -22,7 +23,8 @@ func Figure7a(runs int, seed int64) (Result, error) {
 		runs = 50
 	}
 	type runOut struct{ wise, ips, dr, full float64 }
-	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
+	var health *biasobs.HealthSummary
+	outs, err := forEachRun(runs, seed, func(run int, rng *mathx.RNG) (runOut, error) {
 		w := cdnsim.DefaultWorld()
 		d, err := cdnsim.Collect(w, rng)
 		if err != nil {
@@ -33,6 +35,10 @@ func Figure7a(runs int, seed int64) (Result, error) {
 		v, err := core.NewTraceView(d.Trace)
 		if err != nil {
 			return runOut{}, err
+		}
+		if run == 0 {
+			// Only run 0 writes; forEachRun's join orders it before the read.
+			health = traceHealth(v, np)
 		}
 		model, err := d.WISEModel(2)
 		if err != nil {
@@ -84,6 +90,7 @@ func Figure7a(runs int, seed int64) (Result, error) {
 			row("CBN 3-parent DM", "", dmKnownErrs),
 		},
 	}
+	res.Health = health
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"DR mean error is %.0f%% lower than WISE (paper reports ≈32%%; our propensities are exact, so DR does even better)",
 		100*Reduction(mathx.Mean(wiseErrs), mathx.Mean(drErrs))))
@@ -123,7 +130,8 @@ func Figure7b(runs, sessionsPerRun int, seed int64) (Result, error) {
 		sessionsPerRun = 5
 	}
 	type runOut struct{ dm, ips, dr float64 }
-	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
+	var health *biasobs.HealthSummary
+	outs, err := forEachRun(runs, seed, func(run int, rng *mathx.RNG) (runOut, error) {
 		s := Figure7bScenario()
 		d, err := s.CollectMany(rng, sessionsPerRun)
 		if err != nil {
@@ -134,6 +142,9 @@ func Figure7b(runs, sessionsPerRun int, seed int64) (Result, error) {
 		v, err := core.NewTraceView(d.Trace)
 		if err != nil {
 			return runOut{}, err
+		}
+		if run == 0 {
+			health = traceHealth(v, np)
 		}
 		model := core.RewardFunc[abr.Chunk, int](d.ModelReward)
 		dm, err := core.DirectMethodView(v, np, model)
@@ -170,6 +181,7 @@ func Figure7b(runs, sessionsPerRun int, seed int64) (Result, error) {
 			row("DR (clip 8)", "", drErrs),
 		},
 	}
+	res.Health = health
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("DR mean error is %.0f%% lower than the FastMPC evaluator (paper reports ≈74%%; exact sim parameters were never published)",
 			100*Reduction(mathx.Mean(dmErrs), mathx.Mean(drErrs))),
@@ -201,7 +213,8 @@ func Figure7c(runs, clients int, seed int64) (Result, error) {
 		clients = 1000
 	}
 	type runOut struct{ cfa, dm, dr float64 }
-	outs, err := forEachRun(runs, seed, func(_ int, rng *mathx.RNG) (runOut, error) {
+	var health *biasobs.HealthSummary
+	outs, err := forEachRun(runs, seed, func(run int, rng *mathx.RNG) (runOut, error) {
 		w := cfa.DefaultWorld()
 		if err := w.Init(rng); err != nil {
 			return runOut{}, err
@@ -215,6 +228,9 @@ func Figure7c(runs, clients int, seed int64) (Result, error) {
 		v, err := core.NewTraceViewKeyed(d.Trace, clientKey)
 		if err != nil {
 			return runOut{}, err
+		}
+		if run == 0 {
+			health = traceHealth(v, np)
 		}
 		matched, err := core.MatchedRewardsView(v, np)
 		if err != nil {
@@ -257,6 +273,7 @@ func Figure7c(runs, clients int, seed int64) (Result, error) {
 			row("DR (cross-fit)", "", drErrs),
 		},
 	}
+	res.Health = health
 	res.Notes = append(res.Notes, fmt.Sprintf(
 		"DR mean error is %.0f%% lower than CFA matching (paper reports ≈36%%)",
 		100*Reduction(mathx.Mean(cfaErrs), mathx.Mean(drErrs))))

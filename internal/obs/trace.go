@@ -369,3 +369,31 @@ func SpanFromContext(ctx context.Context) *Span {
 	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
 	return sp
 }
+
+// RegisterTraceSinkMetrics exports JSONL-sink overflow as a counter:
+//
+//	obs_trace_sink_dropped_total    trace lines discarded on sink-queue overflow
+//
+// so export loss is visible on /metrics instead of only via
+// SinkDropped. The counter is created eagerly (a zero reading is the
+// healthy signal operators alert on disappearing) and synced by a
+// scrape-time sampler that reads the registry's *current* recorder —
+// recorder replacement after registration is handled, and a fresh
+// recorder's lower cumulative count simply pauses the counter until
+// the new recorder's drops catch up.
+func RegisterTraceSinkMetrics(reg *Registry) {
+	reg.Help("obs_trace_sink_dropped_total", "Trace JSONL sink lines dropped because the export queue was full.")
+	dropped := reg.Counter("obs_trace_sink_dropped_total")
+	var last atomic.Uint64
+	reg.RegisterSampler(func() {
+		tr := reg.TraceRecorder()
+		if tr == nil {
+			return
+		}
+		cur := tr.SinkDropped()
+		prev := last.Swap(cur)
+		if cur > prev {
+			dropped.Add(cur - prev)
+		}
+	})
+}

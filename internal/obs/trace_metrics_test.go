@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterTraceSinkMetricsSyncsDrops(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTraceRecorder(8)
+	r.SetTraceRecorder(tr)
+	RegisterTraceSinkMetrics(r)
+
+	// Eager creation: the family must appear at zero before any drop.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obs_trace_sink_dropped_total 0") {
+		t.Fatalf("counter not exposed at zero:\n%s", b.String())
+	}
+
+	// The sampler mirrors the recorder's cumulative drop count.
+	tr.sinkDropped.Store(5)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obs_trace_sink_dropped_total 5") {
+		t.Fatalf("counter did not sync to 5:\n%s", b.String())
+	}
+
+	// Replacing the recorder with a fresh one (lower cumulative count)
+	// must not decrease or double-count: the counter holds until the new
+	// recorder's drops pass the old high-water mark.
+	fresh := NewTraceRecorder(8)
+	r.SetTraceRecorder(fresh)
+	fresh.sinkDropped.Store(2)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obs_trace_sink_dropped_total 5") {
+		t.Fatalf("counter moved on recorder swap:\n%s", b.String())
+	}
+
+	fresh.sinkDropped.Store(9)
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obs_trace_sink_dropped_total 12") {
+		t.Fatalf("counter did not advance by the new recorder's delta:\n%s", b.String())
+	}
+}
+
+func TestRegisterTraceSinkMetricsNilRecorder(t *testing.T) {
+	r := NewRegistry()
+	RegisterTraceSinkMetrics(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "obs_trace_sink_dropped_total 0") {
+		t.Fatalf("counter missing with no recorder installed:\n%s", b.String())
+	}
+}

@@ -8,6 +8,7 @@ const (
 	ReasonESSRatio    = "ess_ratio_below_floor"
 	ReasonMaxWeight   = "max_weight_above_ceiling"
 	ReasonZeroSupport = "zero_support_above_cap"
+	ReasonTraceDrift  = "trace_drift"
 )
 
 // Reason is one triggered degradation threshold: what was observed,
@@ -43,6 +44,18 @@ type Thresholds struct {
 // weight tops 100, or when over half the trace has no support.
 func DefaultThresholds() Thresholds {
 	return Thresholds{ESSRatioFloor: 0.1, MaxWeightCeiling: 100, ZeroSupportCap: 0.5}
+}
+
+// DriftReason builds the degradation reason for a fired windowed-drift
+// alarm: the bias observatory saw the trace's reward or ESS series
+// leave its calibrated regime, so whole-trace estimates mix records
+// from different regimes. Observed is the alarm count; Threshold the
+// CUSUM decision threshold (in σ units) the series crossed.
+func DriftReason(alarms int, threshold float64) Reason {
+	return Reason{
+		Code: ReasonTraceDrift, Observed: float64(alarms), Threshold: threshold,
+		Detail: fmt.Sprintf("%d drift alarm(s) fired on the trace's windowed reward/ESS series (CUSUM h=%g): the trace spans more than one regime", alarms, threshold),
+	}
 }
 
 // Check evaluates the thresholds against one request's diagnostics and

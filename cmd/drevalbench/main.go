@@ -51,26 +51,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("drevalbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		quick     = fs.Bool("quick", false, "CI smoke mode: small sizes and iteration counts, finishes in seconds")
-		sizes     = fs.String("sizes", "", "comma-separated trace sizes (default from -quick or the full config)")
-		workers   = fs.String("workers", "", "comma-separated worker-pool widths")
-		iters     = fs.Int("iters", 0, "measured iterations per cell (0 = config default)")
-		bootstrap = fs.Int("bootstrap", 0, "bootstrap resamples in the bootstrap workload (0 = config default)")
-		seed      = fs.Int64("seed", 1, "synthetic workload seed")
-		outDir    = fs.String("out", ".", "directory the BENCH_<timestamp>.json report is written to")
-		baseline  = fs.String("baseline", "bench/baseline.json", "baseline report to diff against (\"\" or a missing file skips the diff)")
-		strict    = fs.Bool("strict", false, "exit non-zero when the diff crosses a regression threshold (default: warn only, for noisy CI runners)")
-		thDrop    = fs.Float64("max-throughput-drop", benchkit.DefaultThresholds().MaxThroughputDrop, "regression threshold: fractional ops/s drop vs baseline")
-		thLat     = fs.Float64("max-latency-growth", benchkit.DefaultThresholds().MaxLatencyGrowth, "regression threshold: fractional p95 growth vs baseline")
-		thAlloc   = fs.Float64("max-alloc-growth", benchkit.DefaultThresholds().MaxAllocGrowth, "regression threshold: fractional allocs/op growth vs baseline")
-		thMinP50  = fs.Float64("min-reliable-p50-ms", benchkit.DefaultThresholds().MinReliableP50Ms, "skip throughput/latency checks for cells whose p50 is below this on both sides (allocs always checked); 0 disables")
-		server    = fs.String("server", "", "base URL of a live drevald for the HTTP loadgen leg (\"\" skips it)")
-		httpReqs  = fs.Int("http-requests", 100, "loadgen request count")
-		httpConc  = fs.Int("http-concurrency", 8, "loadgen concurrent clients")
-		httpSize  = fs.Int("http-trace-size", 2000, "records per loadgen request")
-		httpBoot  = fs.Int("http-bootstrap", 50, "options.bootstrap in loadgen requests")
-		cpuProf   = fs.String("cpuprofile", "", "write a CPU pprof profile of the workload run to this file")
-		memProf   = fs.String("memprofile", "", "write a heap pprof profile (taken after the run) to this file")
+		quick       = fs.Bool("quick", false, "CI smoke mode: small sizes and iteration counts, finishes in seconds")
+		sizes       = fs.String("sizes", "", "comma-separated trace sizes (default from -quick or the full config)")
+		workers     = fs.String("workers", "", "comma-separated worker-pool widths")
+		iters       = fs.Int("iters", 0, "measured iterations per cell (0 = config default)")
+		bootstrap   = fs.Int("bootstrap", 0, "bootstrap resamples in the bootstrap workload (0 = config default)")
+		seed        = fs.Int64("seed", 1, "synthetic workload seed")
+		outDir      = fs.String("out", ".", "directory the BENCH_<timestamp>.json report is written to")
+		baseline    = fs.String("baseline", "bench/baseline.json", "baseline report to diff against (\"\" or a missing file skips the diff)")
+		strict      = fs.Bool("strict", false, "exit non-zero when the diff crosses a regression threshold (default: warn only, for noisy CI runners)")
+		thDrop      = fs.Float64("max-throughput-drop", benchkit.DefaultThresholds().MaxThroughputDrop, "regression threshold: fractional ops/s drop vs baseline")
+		thLat       = fs.Float64("max-latency-growth", benchkit.DefaultThresholds().MaxLatencyGrowth, "regression threshold: fractional p95 growth vs baseline")
+		thAlloc     = fs.Float64("max-alloc-growth", benchkit.DefaultThresholds().MaxAllocGrowth, "regression threshold: fractional allocs/op growth vs baseline")
+		thMinP50    = fs.Float64("min-reliable-p50-ms", benchkit.DefaultThresholds().MinReliableP50Ms, "skip throughput/latency checks for cells whose p50 is below this on both sides (allocs always checked); 0 disables")
+		server      = fs.String("server", "", "base URL of a live drevald for the HTTP loadgen leg (\"\" skips it)")
+		httpReqs    = fs.Int("http-requests", 100, "loadgen request count")
+		httpConc    = fs.Int("http-concurrency", 8, "loadgen concurrent clients")
+		httpSize    = fs.Int("http-trace-size", 2000, "records per loadgen request")
+		httpBoot    = fs.Int("http-bootstrap", 50, "options.bootstrap in loadgen requests")
+		ingestRecs  = fs.Int("ingest-records", 0, "streaming-ingestion leg: total records POSTed to /ingest against -server (0 skips it; needs a drevald running with -wal-dir)")
+		ingestBatch = fs.Int("ingest-batch", 100, "streaming-ingestion leg: records per /ingest batch")
+		cpuProf     = fs.String("cpuprofile", "", "write a CPU pprof profile of the workload run to this file")
+		memProf     = fs.String("memprofile", "", "write a heap pprof profile (taken after the run) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -112,12 +114,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(stderr, "drevalbench: starting CPU profile: %v\n", err)
-			f.Close()
+			_ = f.Close() // nothing was written yet
 			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "drevalbench: closing CPU profile: %v\n", err)
+			}
 		}()
 	}
 
@@ -155,6 +159,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			httpRes.OpsPerSec, httpRes.P50Ms, httpRes.P95Ms, httpRes.P99Ms)
 	}
 
+	if *server != "" && *ingestRecs > 0 {
+		logf("drevalbench: ingest leg against %s (%d records, batches of %d)", *server, *ingestRecs, *ingestBatch)
+		ingRes, err := benchkit.RunIngest(benchkit.IngestConfig{
+			URL:       *server,
+			Records:   *ingestRecs,
+			BatchSize: *ingestBatch,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "drevalbench: ingest leg: %v\n", err)
+			return 1
+		}
+		rep.Ingest = ingRes
+		if ingRes.Errors > 0 {
+			fmt.Fprintf(stderr, "drevalbench: ingest leg: %d of %d batches failed (%v)\n",
+				ingRes.Errors, ingRes.Batches, ingRes.StatusCount)
+			return 1
+		}
+		logf("drevalbench: ingest records/s=%.1f ack p50=%.2fms p95=%.2fms eval-flatness=%.2fx over %d→%d records",
+			ingRes.RecordsPerSec, ingRes.AckP50Ms, ingRes.AckP95Ms,
+			ingRes.EvalLatencyRatio, ingRes.Checkpoints[0].Epoch, ingRes.Checkpoints[len(ingRes.Checkpoints)-1].Epoch)
+	}
+
 	if *memProf != "" {
 		runtime.GC()
 		f, err := os.Create(*memProf)
@@ -164,10 +191,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintf(stderr, "drevalbench: writing heap profile: %v\n", err)
-			f.Close()
+			_ = f.Close() // the profile is already unusable
 			return 1
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(stderr, "drevalbench: closing heap profile: %v\n", err)
+			return 1
+		}
 	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -76,6 +76,7 @@ import (
 	"drnet/internal/parallel"
 	"drnet/internal/resilience"
 	"drnet/internal/traceio"
+	"drnet/internal/walog"
 )
 
 func main() {
@@ -96,6 +97,15 @@ func main() {
 	degradeDrift := flag.Bool("degrade-on-drift", degradeOnDrift, "tag /evaluate responses degraded with a trace_drift reason when a drift alarm fires")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line (JSONL) to this file (empty = disabled)")
 	traceBuffer := flag.Int("trace-buffer", traceRecorder.Capacity(), "completed spans kept in memory for /debug/traces (must be >= 1)")
+	walDir := flag.String("wal-dir", "", "directory for the streaming write-ahead log; enables POST /ingest and aggregate-served /evaluate (empty = streaming disabled)")
+	fsync := flag.String("fsync", "always", "WAL durability point: always (ack == durable), interval, or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background sync period under -fsync interval (must be > 0)")
+	segmentBytes := flag.Int64("segment-bytes", 64<<20, "WAL segment rotation threshold in bytes")
+	ingestMax := flag.Int64("ingest-max-bytes", ingestMaxBytes, "maximum /ingest body size in bytes (must be >= 1)")
+	ingestConcurrent := flag.Int("ingest-max-concurrent", 16, "maximum /ingest batches applying at once (must be >= 1)")
+	ingestQueue := flag.Int("ingest-max-queue", 64, "ingest batches allowed to wait before 429 (0 = no queue)")
+	maxModelAge := flag.Uint64("max-model-age", 0, "degrade streamed responses whose reward model is more than this many records behind the live epoch (0 = never)")
+	biasRefresh := flag.Int("bias-refresh", 0, "rerun the bias observatory over the streamed view every this many ingested records (0 = disabled)")
 	flag.Parse()
 	if *drain <= 0 {
 		log.Fatalf("drevald: -drain-timeout must be > 0, got %v", *drain)
@@ -145,7 +155,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("drevald: -trace-out: %v", err)
 		}
-		defer f.Close()
+		defer func() {
+			if err := f.Close(); err != nil {
+				srvLog.Error("trace-out close failed", "path", *traceOut, "err", err)
+			}
+		}()
 		traceRecorder.SetSink(func(line []byte) { _, _ = f.Write(line) })
 		// LIFO: flush the sink's drainer before the file closes.
 		defer traceRecorder.SetSink(nil)
@@ -156,6 +170,54 @@ func main() {
 		log.Fatalf("drevald: %v", err)
 	}
 	srvLog.SetLevel(level)
+
+	if *walDir != "" {
+		policy, err := walog.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("drevald: -fsync: %v", err)
+		}
+		if *ingestMax < 1 {
+			log.Fatalf("drevald: -ingest-max-bytes must be >= 1, got %d", *ingestMax)
+		}
+		if *ingestConcurrent < 1 {
+			log.Fatalf("drevald: -ingest-max-concurrent must be >= 1, got %d", *ingestConcurrent)
+		}
+		if *ingestQueue < 0 {
+			log.Fatalf("drevald: -ingest-max-queue must be >= 0, got %d", *ingestQueue)
+		}
+		if *biasRefresh < 0 {
+			log.Fatalf("drevald: -bias-refresh must be >= 0, got %d", *biasRefresh)
+		}
+		ingestMaxBytes = *ingestMax
+		ingestLimiter = resilience.NewLimiter(*ingestConcurrent, *ingestQueue)
+		eng, err := newStreamEngine(streamConfig{
+			Dir:           *walDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncInterval,
+			SegmentBytes:  *segmentBytes,
+			MaxModelAge:   *maxModelAge,
+			BiasRefresh:   *biasRefresh,
+		})
+		if err != nil {
+			log.Fatalf("drevald: %v", err)
+		}
+		streamEng = eng
+		defer func() {
+			if err := eng.close(); err != nil {
+				srvLog.Error("wal close failed", "err", err)
+			}
+		}()
+		srvLog.Info("wal opened", "dir", *walDir, "fsync", policy.String(),
+			"segments", eng.recovery.Segments, "frames", eng.recovery.Frames,
+			"truncatedBytes", eng.recovery.TruncatedBytes, "manifestOK", eng.recovery.ManifestOK)
+		// Replay runs in the background: the server accepts traffic
+		// immediately and streaming endpoints answer 503 until the
+		// recovered state is complete.
+		go func() {
+			defer recoverGoroutine("wal-replay")
+			eng.replay()
+		}()
+	}
 
 	srv, err := newServer(*addr)
 	if err != nil {
@@ -267,6 +329,7 @@ func newMux() *http.ServeMux {
 	mux.Handle("GET /healthz", instrument("/healthz", handleHealthz))
 	mux.Handle("POST /diagnose", instrument("/diagnose", limited("/diagnose", handleDiagnose)))
 	mux.Handle("POST /evaluate", instrument("/evaluate", limited("/evaluate", handleEvaluate)))
+	mux.Handle("POST /ingest", instrument("/ingest", limitedBy(ingestLimiterFn, "/ingest", handleIngest)))
 	mux.Handle("GET /metrics", instrument("/metrics", handleMetrics))
 	mux.Handle("GET /debug/vars", instrument("/debug/vars", handleVars))
 	mux.Handle("GET /debug/traces", instrument("/debug/traces", handleTraces))
@@ -289,6 +352,9 @@ type healthJSON struct {
 	// is the most recent bias-observatory verdict, when one exists.
 	LastTrace *lastTraceJSON `json:"lastTrace,omitempty"`
 	BiasGrade string         `json:"biasGrade,omitempty"`
+	// WAL reports the streaming engine's state (epoch, replay progress,
+	// segment footprint). Absent when -wal-dir is unset.
+	WAL *walJSON `json:"wal,omitempty"`
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -311,6 +377,9 @@ func handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if st := lastBias.Load(); st != nil {
 		h.BiasGrade = st.report.Grade
 	}
+	if eng := streamEng; eng != nil {
+		h.WAL = eng.status()
+	}
 	writeJSON(w, h)
 }
 
@@ -321,6 +390,10 @@ type evalOptions struct {
 	EstimatePropensities bool    `json:"estimatePropensities"`
 	Bootstrap            int     `json:"bootstrap"`
 	Seed                 int64   `json:"seed"`
+	// RefreshModel (streamed evaluation only) re-registers the policy
+	// fingerprint: the reward model is refit at the current epoch, so
+	// the response's staleness resets to zero.
+	RefreshModel bool `json:"refreshModel"`
 }
 
 // evalRequest is the request body of /evaluate and /diagnose.
@@ -386,6 +459,10 @@ type evalResponse struct {
 	Degraded        bool                `json:"degraded"`
 	DegradedReasons []resilience.Reason `json:"degradedReasons,omitempty"`
 	Fallback        *fallbackJSON       `json:"fallback,omitempty"`
+	// Stream is present iff the response was served from streaming
+	// aggregates (empty trace + -wal-dir): which fingerprint answered,
+	// the live epoch, and how stale the frozen reward model is.
+	Stream *streamMetaJSON `json:"stream,omitempty"`
 }
 
 // fallbackJSON is the degraded-mode alternative estimate.
@@ -405,60 +482,94 @@ var maxBodyBytes int64 = 64 << 20
 // drive it with arbitrary bytes: malformed input must produce an error,
 // never a panic.
 func parseEvalRequest(body io.Reader) (*evalRequest, core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], error) {
+	req, err := decodeEvalBody(body)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	trace, policy, err := buildEvalInputs(req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return req, trace, policy, nil
+}
+
+// decodeEvalBody is the pure JSON step of parseEvalRequest, split out
+// so the handlers can branch to streamed evaluation (empty trace + an
+// active engine) before batch validation rejects the empty trace.
+func decodeEvalBody(body io.Reader) (*evalRequest, error) {
 	var req evalRequest
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		// %w so decodeRequest can distinguish an oversized body
 		// (*http.MaxBytesError → 413) from plain bad JSON (400).
-		return nil, nil, nil, fmt.Errorf("invalid request body: %w", err)
+		return nil, fmt.Errorf("invalid request body: %w", err)
 	}
-	if len(req.Trace) == 0 {
-		return nil, nil, nil, errors.New("empty trace")
-	}
-	// Reject non-finite numerics up front with a record-addressed
-	// message. Standard JSON cannot encode NaN/Inf, but permissive
-	// clients exist and a NaN that slips past here poisons every
-	// weighted sum downstream.
-	for i, rec := range req.Trace {
+	return &req, nil
+}
+
+// validateFiniteRecords rejects non-finite numerics up front with a
+// record-addressed message. Standard JSON cannot encode NaN/Inf, but
+// permissive clients exist and a NaN that slips past here poisons
+// every weighted sum downstream. Shared by /evaluate, /diagnose and
+// /ingest.
+func validateFiniteRecords(records []traceio.FlatRecord) error {
+	for i, rec := range records {
 		if math.IsNaN(rec.Reward) || math.IsInf(rec.Reward, 0) {
-			return nil, nil, nil, fmt.Errorf("record %d: reward must be finite, got %g", i, rec.Reward)
+			return fmt.Errorf("record %d: reward must be finite, got %g", i, rec.Reward)
 		}
 		if math.IsNaN(rec.Propensity) || math.IsInf(rec.Propensity, 0) {
-			return nil, nil, nil, fmt.Errorf("record %d: propensity must be finite, got %g", i, rec.Propensity)
+			return fmt.Errorf("record %d: propensity must be finite, got %g", i, rec.Propensity)
 		}
 		for j, f := range rec.Features {
 			if math.IsNaN(f) || math.IsInf(f, 0) {
-				return nil, nil, nil, fmt.Errorf("record %d: feature %d must be finite, got %g", i, j, f)
+				return fmt.Errorf("record %d: feature %d must be finite, got %g", i, j, f)
 			}
 		}
 	}
+	return nil
+}
+
+// buildEvalInputs is the validation half of parseEvalRequest: it turns
+// a decoded batch request into a validated trace and parsed policy.
+func buildEvalInputs(req *evalRequest) (core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], error) {
+	if len(req.Trace) == 0 {
+		return nil, nil, errors.New("empty trace")
+	}
+	if err := validateFiniteRecords(req.Trace); err != nil {
+		return nil, nil, err
+	}
 	if req.Options.Bootstrap < 0 {
-		return nil, nil, nil, fmt.Errorf("options.bootstrap must not be negative, got %d", req.Options.Bootstrap)
+		return nil, nil, fmt.Errorf("options.bootstrap must not be negative, got %d", req.Options.Bootstrap)
 	}
 	if req.Options.Bootstrap > maxBootstrapResamples {
-		return nil, nil, nil, fmt.Errorf("options.bootstrap %d exceeds the maximum of %d resamples", req.Options.Bootstrap, maxBootstrapResamples)
+		return nil, nil, fmt.Errorf("options.bootstrap %d exceeds the maximum of %d resamples", req.Options.Bootstrap, maxBootstrapResamples)
 	}
 	trace := traceio.ToCore(traceio.FlatTrace{Records: req.Trace})
 	if req.Options.EstimatePropensities {
 		if err := core.EstimatePropensities(trace, func(c traceio.FlatContext) string {
 			return c.Key()
 		}, 5, 1e-3); err != nil {
-			return nil, nil, nil, fmt.Errorf("propensity estimation: %v", err)
+			return nil, nil, fmt.Errorf("propensity estimation: %v", err)
 		}
 	}
 	if err := trace.Validate(); err != nil {
-		return nil, nil, nil, fmt.Errorf("%v (set options.estimatePropensities if the trace has none)", err)
+		return nil, nil, fmt.Errorf("%v (set options.estimatePropensities if the trace has none)", err)
 	}
 	policy, err := traceio.ParsePolicy(req.Policy, trace)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return &req, trace, policy, nil
+	return trace, policy, nil
 }
 
-func decodeRequest(w http.ResponseWriter, r *http.Request) (*evalRequest, core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], bool) {
-	req, trace, policy, err := parseEvalRequest(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// decodeRequest decodes an /evaluate or /diagnose body. When the trace
+// is empty and streaming is active it dispatches to streamed (the
+// aggregate-serving handler) and reports handled=true; otherwise it
+// validates the batch inputs, writing the error response itself on
+// failure (400, or 413 for an oversized body).
+func decodeRequest(w http.ResponseWriter, r *http.Request, streamed func(http.ResponseWriter, *http.Request, *evalRequest)) (*evalRequest, core.Trace[traceio.FlatContext, string], core.Policy[traceio.FlatContext, string], bool) {
+	req, err := decodeEvalBody(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		code := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
@@ -466,6 +577,15 @@ func decodeRequest(w http.ResponseWriter, r *http.Request) (*evalRequest, core.T
 			code = http.StatusRequestEntityTooLarge
 		}
 		httpError(w, code, err.Error())
+		return nil, nil, nil, false
+	}
+	if len(req.Trace) == 0 && streamEng != nil {
+		streamed(w, r, req)
+		return nil, nil, nil, false
+	}
+	trace, policy, err := buildEvalInputs(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
 		return nil, nil, nil, false
 	}
 	return req, trace, policy, true
@@ -543,10 +663,12 @@ func recoverGoroutine(name string) {
 type diagnoseResponse struct {
 	diagnosticsJSON
 	TraceHealth *biasobs.HealthSummary `json:"traceHealth,omitempty"`
+	// Stream mirrors evalResponse.Stream for aggregate-served requests.
+	Stream *streamMetaJSON `json:"stream,omitempty"`
 }
 
 func handleDiagnose(w http.ResponseWriter, r *http.Request) {
-	_, trace, policy, ok := decodeRequest(w, r)
+	_, trace, policy, ok := decodeRequest(w, r, handleStreamDiagnose)
 	if !ok {
 		return
 	}
@@ -578,7 +700,7 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 }
 
 func handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	req, trace, policy, ok := decodeRequest(w, r)
+	req, trace, policy, ok := decodeRequest(w, r, handleStreamEvaluate)
 	if !ok {
 		return
 	}

@@ -64,6 +64,7 @@ var traceRecorder = obs.NewTraceRecorder(512)
 var tracedRoutes = map[string]bool{
 	"/evaluate": true,
 	"/diagnose": true,
+	"/ingest":   true,
 }
 
 func init() {
@@ -235,10 +236,22 @@ func instrument(route string, h http.HandlerFunc) http.Handler {
 // slow timeouts. A client that gives up while queued gets the usual
 // 503 cancellation body.
 func limited(route string, h http.HandlerFunc) http.HandlerFunc {
+	return limitedBy(func() *resilience.Limiter { return evalLimiter }, route, h)
+}
+
+// ingestLimiterFn resolves the ingest admission limiter per request,
+// so tests that swap the package variable take effect immediately.
+func ingestLimiterFn() *resilience.Limiter { return ingestLimiter }
+
+// limitedBy is limited with an explicit limiter source: /ingest admits
+// through its own limiter so writers and evaluators cannot starve each
+// other. The limiter is resolved per request (late bound) because the
+// lifecycle tests swap the package variables.
+func limitedBy(limiter func() *resilience.Limiter, route string, h http.HandlerFunc) http.HandlerFunc {
 	shed := obs.Default.Counter("drevald_load_shed_total", obs.L("route", route))
 	queueWait := obs.Default.Histogram("drevald_queue_wait_seconds", httpRequestBuckets, obs.L("route", route))
 	return func(w http.ResponseWriter, r *http.Request) {
-		release, waited, err := evalLimiter.Acquire(r.Context())
+		release, waited, err := limiter().Acquire(r.Context())
 		if err != nil {
 			if errors.Is(err, resilience.ErrSaturated) {
 				shed.Inc()
@@ -300,4 +313,3 @@ func newDebugMux() *http.ServeMux {
 	mux.HandleFunc("GET /debug/bias", handleBias)
 	return mux
 }
-

@@ -14,8 +14,14 @@ import (
 )
 
 // TestMain silences access logs during tests unless -v is set, so
-// failures stay readable.
+// failures stay readable. When re-executed with DREVALD_CRASH_CHILD=1
+// the binary becomes a real drevald server instead (the crash-replay
+// chaos suite SIGKILLs it mid-batch and replays its WAL).
 func TestMain(m *testing.M) {
+	if os.Getenv("DREVALD_CRASH_CHILD") == "1" {
+		main()
+		return
+	}
 	flag.Parse()
 	if !testing.Verbose() {
 		srvLog.SetOutput(io.Discard)

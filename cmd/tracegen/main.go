@@ -40,13 +40,13 @@ func main() {
 		os.Exit(1)
 	}
 	var w io.Writer = os.Stdout
+	var f *os.File
 	if *out != "-" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	switch *format {
@@ -56,6 +56,11 @@ func main() {
 		err = traceio.WriteJSONL(w, ft)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err == nil && f != nil {
+		// Close surfaces deferred write-back failures; a silent one
+		// would hand the caller a truncated trace file.
+		err = f.Close()
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)

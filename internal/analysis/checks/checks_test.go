@@ -37,6 +37,10 @@ func TestObsHygieneFixture(t *testing.T) {
 	atest.Run(t, "testdata/obshygiene", "fixture/obshyg", checks.ObsHygiene)
 }
 
+func TestFsyncHygieneFixture(t *testing.T) {
+	atest.Run(t, "testdata/fsynchygiene", "fixture/io", checks.FsyncHygiene)
+}
+
 func TestGoSafetyFixture(t *testing.T) {
 	atest.Run(t, "testdata/gosafety", "fixture/cmd/drevald", checks.GoSafety)
 }

@@ -1,0 +1,173 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"drnet/internal/analysis"
+)
+
+// FsyncHygiene enforces the durability contract the WAL is built on:
+// an fsync or close whose error is thrown away silently converts
+// "durable" into "probably durable". A discarded (*os.File).Sync error
+// is always a bug — Sync exists only to surface write-back failures.
+// A discarded (*os.File).Close error is a bug on write paths, where
+// close is the last chance to observe a flush failure; closes of
+// read-only files are left alone. Explicitly assigning the error
+// (`_ = f.Close()`) is treated as an acknowledged decision, and
+// //lint:allow fsynchygiene suppresses the rest.
+var FsyncHygiene = &analysis.Analyzer{
+	Name: "fsynchygiene",
+	Doc: "discarded (*os.File).Sync errors anywhere, and discarded " +
+		"(*os.File).Close errors on write paths (files opened for " +
+		"writing or demonstrably written to)",
+	Run: runFsyncHygiene,
+}
+
+func runFsyncHygiene(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		written := collectWriteEvidence(pass.Info, f)
+		analysis.WalkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			recv, method := methodRecv(pass.Info, call)
+			if !isOSFile(recv) || !resultDiscarded(stack) {
+				return true
+			}
+			switch method {
+			case "Sync":
+				pass.Reportf(call.Pos(), "(*os.File).Sync error discarded: a failed fsync means the kernel could not persist the data, and dropping the error turns a durability guarantee into a guess — check it (or lint:allow with why this sync is advisory)")
+			case "Close":
+				if obj := fileObject(pass.Info, call); obj != nil && written[obj] {
+					pass.Reportf(call.Pos(), "(*os.File).Close error discarded on a write path: close is the last point a buffered write-back failure can surface, so an unchecked close can silently lose acknowledged data — check it, or `_ =` it with a comment if loss is acceptable")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// resultDiscarded reports whether the innermost statement around the
+// call throws its value away: a bare expression statement or a defer.
+// Assignments (including `_ =`), conditions, returns and argument
+// positions all count as handled.
+func resultDiscarded(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch stack[len(stack)-1].(type) {
+	case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+		return true
+	}
+	return false
+}
+
+// collectWriteEvidence walks one file and returns the set of objects
+// (variables, fields rooted at a variable) that are provably write-path
+// files: opened via os.Create / os.OpenFile with write flags, written
+// to through a Write-family method, or handed to fmt.Fprint* / io.Copy
+// as the destination.
+func collectWriteEvidence(info *types.Info, f *ast.File) map[types.Object]bool {
+	written := map[types.Object]bool{}
+	mark := func(expr ast.Expr) {
+		if id := rootIdent(expr); id != nil {
+			if obj := info.Uses[id]; obj != nil {
+				written[obj] = true
+			} else if obj := info.Defs[id]; obj != nil {
+				written[obj] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// f, err := os.Create(...) / os.OpenFile(..., write flags, ...)
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isWriteOpen(info, call) {
+					mark(n.Lhs[0])
+				}
+			}
+		case *ast.CallExpr:
+			if recv, method := methodRecv(info, n); isOSFile(recv) {
+				switch method {
+				case "Write", "WriteString", "WriteAt", "ReadFrom", "Truncate":
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+						mark(sel.X)
+					}
+				}
+				return true
+			}
+			// Destination position of the stdlib's writer-consuming
+			// helpers: fmt.Fprint*(f, ...) and io.Copy(f, r).
+			if isPkgCall(info, n, "fmt", "Fprint", "Fprintf", "Fprintln") ||
+				isPkgCall(info, n, "io", "Copy", "CopyN", "CopyBuffer") {
+				if len(n.Args) > 0 && isOSFileExpr(info, n.Args[0]) {
+					mark(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return written
+}
+
+// isWriteOpen reports whether call opens a file for writing:
+// os.Create always, os.OpenFile unless its flag argument is a known
+// compile-time O_RDONLY (zero).
+func isWriteOpen(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgCall(info, call, "os", "Create") {
+		return true
+	}
+	if !isPkgCall(info, call, "os", "OpenFile") {
+		return false
+	}
+	if len(call.Args) < 2 {
+		return true
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+			return false // O_RDONLY: a read path
+		}
+	}
+	return true
+}
+
+// fileObject resolves the receiver variable of an (*os.File) method
+// call to its declaring object, or nil when the receiver is not a
+// plain variable chain (e.g. a fresh call result).
+func fileObject(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id := rootIdent(sel.X)
+	if id == nil {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isOSFile reports whether the named type is os.File.
+func isOSFile(n *types.Named) bool {
+	return namedFrom(n, "os", "File")
+}
+
+// isOSFileExpr reports whether expr's type is *os.File (or os.File).
+func isOSFileExpr(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return isOSFile(n)
+}

@@ -1,0 +1,115 @@
+// Fixture for the fsynchygiene analyzer: discarded durability errors
+// on write paths, alongside the read-path and acknowledged idioms that
+// must stay clean.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// --- Sync: the error always matters ---
+
+func syncDiscarded(f *os.File) {
+	f.Sync() // want "Sync error discarded"
+}
+
+func syncDeferred(f *os.File) {
+	defer f.Sync() // want "Sync error discarded"
+}
+
+func syncChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func syncAllowed(f *os.File) {
+	//lint:allow fsynchygiene advisory flush, durability is the caller's problem
+	f.Sync()
+}
+
+// --- Close: flagged only with write evidence ---
+
+func createThenClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "Close error discarded on a write path"
+	_, err = f.WriteString("x")
+	return err
+}
+
+func openFileWriteFlags(path string) {
+	f, _ := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Close() // want "Close error discarded on a write path"
+}
+
+func openFileReadOnly(path string) {
+	f, _ := os.OpenFile(path, 0, 0) // O_RDONLY: read path
+	f.Close()
+}
+
+func writeMethodEvidence(f *os.File, b []byte) {
+	_, _ = f.Write(b)
+	f.Close() // want "Close error discarded on a write path"
+}
+
+func fprintEvidence(f *os.File) {
+	fmt.Fprintf(f, "n=%d\n", 1)
+	f.Close() // want "Close error discarded on a write path"
+}
+
+func copyEvidence(f *os.File, r io.Reader) {
+	_, _ = io.Copy(f, r)
+	defer f.Close() // want "Close error discarded on a write path"
+}
+
+func closureEvidence(path string) {
+	f, _ := os.Create(path)
+	func() {
+		f.Close() // want "Close error discarded on a write path"
+	}()
+}
+
+// Read paths stay clean: os.Open, reads, and reader-position io.Copy.
+func readPath(path string, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(w, f)
+	return err
+}
+
+// Explicit discard is an acknowledged decision, not an accident.
+func acknowledgedClose(path string) {
+	f, _ := os.Create(path)
+	_, _ = f.WriteString("x")
+	_ = f.Close()
+}
+
+// Checked close on a write path is the idiom the check exists to protect.
+func checkedClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Suppression works on closes too.
+func allowedClose(path string) {
+	f, _ := os.Create(path)
+	_, _ = f.WriteString("x")
+	//lint:allow fsynchygiene scratch file, loss is harmless
+	f.Close()
+}

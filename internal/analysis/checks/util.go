@@ -1,8 +1,8 @@
-// Package checks holds the five domain analyzers drevallint ships:
-// nondet, floathygiene, ctxdiscipline, obshygiene and gosafety. Each
-// one mechanizes an invariant the repo otherwise enforces only through
-// tests and review — see the Doc string on each Analyzer for the
-// mapping from check to invariant.
+// Package checks holds the six domain analyzers drevallint ships:
+// nondet, floathygiene, ctxdiscipline, obshygiene, gosafety and
+// fsynchygiene. Each one mechanizes an invariant the repo otherwise
+// enforces only through tests and review — see the Doc string on each
+// Analyzer for the mapping from check to invariant.
 package checks
 
 import (
@@ -17,7 +17,7 @@ import (
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Nondet, FloatHygiene, CtxDiscipline, ObsHygiene, GoSafety}
+	return []*analysis.Analyzer{Nondet, FloatHygiene, CtxDiscipline, ObsHygiene, GoSafety, FsyncHygiene}
 }
 
 // pathHasSuffix reports whether the package path matches one of the

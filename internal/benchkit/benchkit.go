@@ -158,6 +158,10 @@ type Report struct {
 	// HTTP is the loadgen leg against a live drevald, present when one
 	// was requested.
 	HTTP *HTTPResult `json:"http,omitempty"`
+	// Ingest is the streaming-ingestion leg (durable-ack throughput and
+	// the O(1) evaluation flatness probe), present when one was
+	// requested. Consumers must nil-guard: most runs have no WAL server.
+	Ingest *IngestResult `json:"ingest,omitempty"`
 }
 
 // FindCell returns the result for a cell key, or nil.

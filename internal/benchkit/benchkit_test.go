@@ -288,3 +288,69 @@ func TestRunHTTPAgainstStubServer(t *testing.T) {
 		t.Fatal("empty config accepted")
 	}
 }
+
+func TestRunIngestAgainstStubServer(t *testing.T) {
+	var ingested atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ingest":
+			var body struct {
+				Records []json.RawMessage `json:"records"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+				t.Errorf("decoding ingest body: %v", err)
+			}
+			epoch := ingested.Add(int64(len(body.Records)))
+			fmt.Fprintf(w, `{"acked":%d,"durable":true,"epoch":%d}`, len(body.Records), epoch)
+		case "/evaluate":
+			fmt.Fprint(w, `{}`)
+		default:
+			t.Errorf("unexpected %s %s", r.Method, r.URL.Path)
+		}
+	}))
+	defer srv.Close()
+
+	res, err := RunIngest(IngestConfig{URL: srv.URL, Records: 1000, BatchSize: 50, EvalSamples: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 1000 || res.Batches != 20 || res.Errors != 0 || ingested.Load() != 1000 {
+		t.Fatalf("ingest census: %+v (server saw %d)", res, ingested.Load())
+	}
+	if res.StatusCount["200"] != 20 {
+		t.Fatalf("status census = %v", res.StatusCount)
+	}
+	// 10 evenly spaced checkpoints spanning the 10x growth, first at
+	// records/10 and last at the full stream.
+	if len(res.Checkpoints) != 10 ||
+		res.Checkpoints[0].Epoch != 100 || res.Checkpoints[9].Epoch != 1000 {
+		t.Fatalf("checkpoints = %+v", res.Checkpoints)
+	}
+	if res.EvalLatencyRatio <= 0 {
+		t.Fatalf("flatness ratio not computed: %+v", res)
+	}
+	if res.RecordsPerSec <= 0 || res.AckP50Ms < 0 || res.AckP50Ms > res.AckP99Ms {
+		t.Fatalf("implausible ingest metrics: %+v", res)
+	}
+
+	// Config validation.
+	if _, err := RunIngest(IngestConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := RunIngest(IngestConfig{URL: srv.URL, Records: 50, BatchSize: 10}); err == nil {
+		t.Fatal("undersized leg accepted")
+	}
+
+	// A non-200 ingest is an error, not a crash.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, `{"error":"no wal"}`, http.StatusNotFound)
+	}))
+	defer bad.Close()
+	res, err = RunIngest(IngestConfig{URL: bad.URL, Records: 100, BatchSize: 100, EvalSamples: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 1 || res.StatusCount["404"] != 1 || res.Records != 0 {
+		t.Fatalf("error census = %+v", res)
+	}
+}

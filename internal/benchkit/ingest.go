@@ -1,0 +1,173 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// IngestConfig describes the streaming-ingestion leg: batched POST
+// /ingest calls against a live drevald with a WAL, interleaved with
+// aggregate-served /evaluate probes. The leg exists to measure two
+// things the cell matrix cannot: durable-ack ingest throughput, and
+// the O(1) evaluation contract — streamed /evaluate latency must stay
+// flat while the stream grows an order of magnitude.
+type IngestConfig struct {
+	// URL is the server base URL, e.g. http://127.0.0.1:8080. The
+	// server must run with -wal-dir set.
+	URL string `json:"url"`
+	// Records is the total record count ingested across the leg.
+	Records int `json:"records"`
+	// BatchSize is records per /ingest call.
+	BatchSize int `json:"batchSize"`
+	// EvalSamples is the number of /evaluate probes per checkpoint.
+	EvalSamples int `json:"evalSamples"`
+	// Seed drives the synthetic payload generator.
+	Seed int64 `json:"seed"`
+	// Timeout bounds each request (0 = 30s).
+	Timeout time.Duration `json:"-"`
+}
+
+// IngestCheckpoint is one /evaluate latency probe taken at a stream
+// size. Comparing the first and last checkpoint is the O(1) evidence:
+// under incremental aggregation the probes hit pre-folded sufficient
+// statistics, so latency must not scale with Epoch.
+type IngestCheckpoint struct {
+	// Epoch is the stream size (total ingested records) at probe time.
+	Epoch int `json:"epoch"`
+	// EvalP50Ms / EvalP95Ms are streamed /evaluate latency percentiles.
+	EvalP50Ms float64 `json:"evalP50Ms"`
+	EvalP95Ms float64 `json:"evalP95Ms"`
+}
+
+// IngestResult is the leg's measurement. AckP* cover successful
+// (200, durable) ingest acknowledgements only. EvalLatencyRatio is
+// last-checkpoint p50 over first-checkpoint p50 — the flatness number
+// the O(1) acceptance criterion reads (≈1.0 when evaluation cost is
+// independent of stream size).
+type IngestResult struct {
+	Config           IngestConfig       `json:"config"`
+	Batches          int                `json:"batches"`
+	Records          int                `json:"records"`
+	Errors           int                `json:"errors"`
+	BatchesPerSec    float64            `json:"batchesPerSec"`
+	RecordsPerSec    float64            `json:"recordsPerSec"`
+	AckP50Ms         float64            `json:"ackP50Ms"`
+	AckP95Ms         float64            `json:"ackP95Ms"`
+	AckP99Ms         float64            `json:"ackP99Ms"`
+	StatusCount      map[string]int     `json:"statusCount"`
+	Checkpoints      []IngestCheckpoint `json:"checkpoints"`
+	EvalLatencyRatio float64            `json:"evalLatencyRatio"`
+}
+
+// RunIngest streams cfg.Records synthetic records into a live drevald
+// in cfg.BatchSize batches, probing streamed /evaluate latency at 10
+// evenly spaced stream sizes (so first→last spans the 10× growth the
+// acceptance criterion asks about). Ingestion is sequential by design:
+// acks gate on durability, so a single producer measures the full
+// fsync-inclusive ack path rather than queue-amortized throughput.
+func RunIngest(cfg IngestConfig) (*IngestResult, error) {
+	if cfg.URL == "" {
+		return nil, fmt.Errorf("benchkit: ingest leg needs a server URL")
+	}
+	if cfg.Records < 100 || cfg.BatchSize < 1 || cfg.BatchSize > cfg.Records {
+		return nil, fmt.Errorf("benchkit: ingest leg needs records >= 100 and 1 <= batchSize <= records")
+	}
+	if cfg.EvalSamples < 1 {
+		cfg.EvalSamples = 20
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	base := strings.TrimRight(cfg.URL, "/")
+	client := &http.Client{Timeout: timeout}
+
+	all := SyntheticTrace(cfg.Records, cfg.Seed)
+	evalBody, err := json.Marshal(map[string]any{"policy": "best-observed", "options": map[string]any{"clip": 10}})
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: marshalling probe payload: %w", err)
+	}
+
+	res := &IngestResult{Config: cfg, StatusCount: map[string]int{}}
+	var ackLat []float64
+	checkpointEvery := cfg.Records / 10
+
+	probe := func(epoch int) error {
+		var lat []float64
+		for i := 0; i < cfg.EvalSamples; i++ {
+			t0 := time.Now()
+			resp, err := client.Post(base+"/evaluate", "application/json", bytes.NewReader(evalBody))
+			d := time.Since(t0).Seconds()
+			if err != nil {
+				return fmt.Errorf("benchkit: probe at epoch %d: %w", epoch, err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("benchkit: probe at epoch %d: status %d", epoch, resp.StatusCode)
+			}
+			lat = append(lat, d)
+		}
+		res.Checkpoints = append(res.Checkpoints, IngestCheckpoint{
+			Epoch:     epoch,
+			EvalP50Ms: Percentile(lat, 0.50) * 1000,
+			EvalP95Ms: Percentile(lat, 0.95) * 1000,
+		})
+		return nil
+	}
+
+	start := time.Now()
+	nextCheckpoint := checkpointEvery
+	for off := 0; off < len(all); off += cfg.BatchSize {
+		end := off + cfg.BatchSize
+		if end > len(all) {
+			end = len(all)
+		}
+		body, err := json.Marshal(map[string]any{"records": all[off:end]})
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: marshalling batch: %w", err)
+		}
+		t0 := time.Now()
+		resp, err := client.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+		d := time.Since(t0).Seconds()
+		res.Batches++
+		if err != nil {
+			res.Errors++
+			res.StatusCount["transport-error"]++
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		res.StatusCount[fmt.Sprint(resp.StatusCode)]++
+		if resp.StatusCode != http.StatusOK {
+			res.Errors++
+			continue
+		}
+		res.Records += end - off
+		ackLat = append(ackLat, d)
+		for nextCheckpoint <= res.Records {
+			if err := probe(res.Records); err != nil {
+				return nil, err
+			}
+			nextCheckpoint += checkpointEvery
+		}
+	}
+	wall := time.Since(start).Seconds()
+
+	res.AckP50Ms = Percentile(ackLat, 0.50) * 1000
+	res.AckP95Ms = Percentile(ackLat, 0.95) * 1000
+	res.AckP99Ms = Percentile(ackLat, 0.99) * 1000
+	if wall > 0 {
+		res.BatchesPerSec = float64(res.Batches-res.Errors) / wall
+		res.RecordsPerSec = float64(res.Records) / wall
+	}
+	if n := len(res.Checkpoints); n >= 2 && res.Checkpoints[0].EvalP50Ms > 0 {
+		res.EvalLatencyRatio = res.Checkpoints[n-1].EvalP50Ms / res.Checkpoints[0].EvalP50Ms
+	}
+	return res, nil
+}

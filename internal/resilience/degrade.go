@@ -9,6 +9,7 @@ const (
 	ReasonMaxWeight   = "max_weight_above_ceiling"
 	ReasonZeroSupport = "zero_support_above_cap"
 	ReasonTraceDrift  = "trace_drift"
+	ReasonStaleAggs   = "stale_aggregates"
 )
 
 // Reason is one triggered degradation threshold: what was observed,
@@ -55,6 +56,19 @@ func DriftReason(alarms int, threshold float64) Reason {
 	return Reason{
 		Code: ReasonTraceDrift, Observed: float64(alarms), Threshold: threshold,
 		Detail: fmt.Sprintf("%d drift alarm(s) fired on the trace's windowed reward/ESS series (CUSUM h=%g): the trace spans more than one regime", alarms, threshold),
+	}
+}
+
+// StaleAggregatesReason builds the degradation reason for a streaming
+// evaluation served from running aggregates whose frozen reward model
+// has fallen too far behind the ingested trace: ageRecords records
+// arrived since the model was fit, above the configured limit, so the
+// DM/DR components may no longer reflect the live reward surface (the
+// paper's core drift warning applied to the serving path itself).
+func StaleAggregatesReason(ageRecords, limit uint64) Reason {
+	return Reason{
+		Code: ReasonStaleAggs, Observed: float64(ageRecords), Threshold: float64(limit),
+		Detail: fmt.Sprintf("%d records ingested since the policy's reward model was frozen, above the %d-record staleness limit; re-register the policy to refit", ageRecords, limit),
 	}
 }
 

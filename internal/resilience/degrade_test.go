@@ -57,6 +57,23 @@ func TestCheckZeroDisables(t *testing.T) {
 	}
 }
 
+func TestStaleAggregatesReason(t *testing.T) {
+	r := StaleAggregatesReason(1500, 1000)
+	if r.Code != ReasonStaleAggs {
+		t.Fatalf("code %q, want %q", r.Code, ReasonStaleAggs)
+	}
+	if r.Observed != 1500 || r.Threshold != 1000 {
+		t.Fatalf("observed/threshold %g/%g, want 1500/1000", r.Observed, r.Threshold)
+	}
+	if !strings.Contains(r.Detail, "1500 records") || !strings.Contains(r.Detail, "1000-record") {
+		t.Fatalf("detail does not name both counts: %q", r.Detail)
+	}
+	// Deterministic like every other Reason constructor.
+	if r != StaleAggregatesReason(1500, 1000) {
+		t.Fatal("StaleAggregatesReason is not deterministic")
+	}
+}
+
 func TestReasonJSONShape(t *testing.T) {
 	rs := DefaultThresholds().Check(100, 2, 300, 80)
 	if len(rs) != 3 {

@@ -15,6 +15,18 @@ const (
 	PointTraceRead = "traceio.read"
 	// PointPoolTask fires at the start of every worker-pool task.
 	PointPoolTask = "parallel.task"
+	// PointWALAppend fires before a WAL frame is written; an injected
+	// error fails the append cleanly (nothing reaches the file).
+	PointWALAppend = "walog.append"
+	// PointWALWrite fires mid-frame: an injected error makes the WAL
+	// writer perform a deliberately SHORT write (a torn frame on disk)
+	// before surfacing the error, so recovery's torn-tail truncation is
+	// exercised against realistic partial writes.
+	PointWALWrite = "walog.write"
+	// PointWALSync fires in place of fsync; an injected error is
+	// reported as a sync failure (the data may or may not be durable,
+	// exactly like a real fsync error).
+	PointWALSync = "walog.sync"
 )
 
 // ErrInjected is the sentinel wrapped by every injected error, so

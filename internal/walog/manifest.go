@@ -1,0 +1,97 @@
+package walog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// manifestName is the sealed-segment index file. It is rewritten with
+// the classic tmp+rename dance so readers never observe a partial
+// manifest: either the old complete file or the new complete file.
+//
+// The manifest is advisory: recovery always scans the segment files
+// themselves (the manifest cannot be newer than the data it describes,
+// and trusting it would make manifest corruption fatal). Open
+// cross-checks it and reports disagreement via Recovery.ManifestOK.
+const manifestName = "MANIFEST.json"
+
+// manifest is the on-disk shape of the sealed-segment index.
+type manifest struct {
+	// Version guards future layout changes.
+	Version int `json:"version"`
+	// Sealed lists rotated segments in order; the active tail segment
+	// is deliberately absent (its length changes every append).
+	Sealed []SegmentInfo `json:"sealed"`
+}
+
+// writeManifest atomically replaces the manifest with the given sealed
+// set. The caller is responsible for fsyncing the directory afterwards
+// when the rename itself must be durable.
+func writeManifest(dir string, sealed []SegmentInfo) error {
+	m := manifest{Version: 1, Sealed: sealed}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("walog: encoding manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("walog: writing manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		closeQuiet(f)
+		return fmt.Errorf("walog: writing manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		closeQuiet(f)
+		return fmt.Errorf("walog: syncing manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("walog: closing manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("walog: installing manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads the manifest if present. ok is false when the
+// file does not exist; a present-but-unreadable manifest is NOT an
+// error for recovery purposes (the scan is the truth) and comes back
+// as ok=false too, so Open reports ManifestOK=false via the mismatch
+// path only when a parseable manifest disagrees with the scan.
+func readManifest(dir string) (manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("walog: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		// A torn manifest (crash between tmp write and rename cannot
+		// cause this, but disk corruption can) is ignored; the scan
+		// rebuilds it.
+		return manifest{}, false, nil
+	}
+	return m, true, nil
+}
+
+// manifestMatches reports whether the manifest agrees with the sealed
+// set recovered by scanning.
+func manifestMatches(m manifest, sealed []SegmentInfo) bool {
+	if len(m.Sealed) != len(sealed) {
+		return false
+	}
+	for i := range sealed {
+		if m.Sealed[i] != sealed[i] {
+			return false
+		}
+	}
+	return true
+}

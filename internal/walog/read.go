@@ -1,0 +1,171 @@
+package walog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ScanResult summarizes one segment file's frame scan.
+type ScanResult struct {
+	// Frames is the number of valid frames found.
+	Frames uint64
+	// ValidBytes is the offset just past the last valid frame (it
+	// includes the magic header; an empty-but-valid segment reports
+	// len(Magic)).
+	ValidBytes int64
+	// TotalBytes is the file's size on disk.
+	TotalBytes int64
+	// TailReason explains why the scan stopped before TotalBytes
+	// (empty when the whole file is valid frames).
+	TailReason string
+}
+
+// ScanSegment walks a segment file and returns where the valid frame
+// prefix ends. It never returns an error for torn or corrupt FRAMES —
+// those end the valid prefix and are described by TailReason — only
+// for I/O failures or a missing/invalid magic header (which means the
+// file is not a walog segment at all, not a torn one).
+func ScanSegment(path string, maxFrameBytes int) (ScanResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScanResult{}, fmt.Errorf("walog: %w", err)
+	}
+	defer closeQuiet(f)
+	fi, err := f.Stat()
+	if err != nil {
+		return ScanResult{}, fmt.Errorf("walog: %w", err)
+	}
+	res := ScanResult{TotalBytes: fi.Size()}
+
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return ScanResult{}, fmt.Errorf("walog: %s: reading magic: %w", path, err)
+	}
+	if string(magic) != Magic {
+		return ScanResult{}, fmt.Errorf("walog: %s: bad magic %q, not a walog segment", path, magic)
+	}
+	res.ValidBytes = int64(len(Magic))
+
+	err = scanFrames(r, maxFrameBytes, func(payload []byte) error {
+		res.Frames++
+		res.ValidBytes += int64(FrameHeaderSize + len(payload))
+		return nil
+	}, &res.TailReason)
+	if err != nil {
+		return ScanResult{}, fmt.Errorf("walog: %s: %w", path, err)
+	}
+	return res, nil
+}
+
+// scanFrames reads frames from r until EOF or the first invalid frame,
+// calling fn with each valid payload (the slice is reused between
+// calls). A torn/corrupt frame sets *tailReason and stops the scan
+// without error; a non-nil error only reports real I/O failures or an
+// aborting fn.
+func scanFrames(r io.Reader, maxFrameBytes int, fn func(payload []byte) error, tailReason *string) error {
+	var hdr [FrameHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end on a frame boundary
+			}
+			if err == io.ErrUnexpectedEOF {
+				*tailReason = "torn frame header"
+				return nil
+			}
+			return err
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if int64(length) > int64(maxFrameBytes) {
+			// An absurd length is indistinguishable from garbage; do
+			// not attempt the read (it could be gigabytes).
+			*tailReason = fmt.Sprintf("frame length %d exceeds limit %d", length, maxFrameBytes)
+			return nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				*tailReason = "torn frame payload"
+				return nil
+			}
+			return err
+		}
+		if got := Checksum(payload); got != want {
+			*tailReason = fmt.Sprintf("frame CRC mismatch (stored %08x, computed %08x)", want, got)
+			return nil
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+	}
+}
+
+// readSegmentFrames streams the valid frames of one segment through fn
+// (payload slice reused between calls). Torn tails are silently
+// skipped — recovery already decided where the valid prefix ends.
+func readSegmentFrames(path string, maxFrameBytes int, fn func(payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("walog: %w", err)
+	}
+	defer closeQuiet(f)
+	r := bufio.NewReaderSize(f, 1<<20)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return fmt.Errorf("walog: %s: reading magic: %w", path, err)
+	}
+	if string(magic) != Magic {
+		return fmt.Errorf("walog: %s: bad magic %q, not a walog segment", path, magic)
+	}
+	var tail string
+	return scanFrames(r, maxFrameBytes, fn, &tail)
+}
+
+// ReadSegment decodes every valid frame of a segment image given as a
+// byte slice (magic header included) and returns the payloads plus the
+// length of the valid prefix. It is the pure-function core the fuzz
+// harness drives: any input must decode without panicking, and the
+// returned prefix must be a fixed point (re-scanning the prefix yields
+// the same frames).
+func ReadSegment(data []byte, maxFrameBytes int) (payloads [][]byte, validBytes int64, err error) {
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		return nil, 0, fmt.Errorf("walog: bad magic, not a walog segment")
+	}
+	validBytes = int64(len(Magic))
+	var tail string
+	err = scanFrames(newByteReader(data[len(Magic):]), maxFrameBytes, func(payload []byte) error {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		payloads = append(payloads, cp)
+		validBytes += int64(FrameHeaderSize + len(payload))
+		return nil
+	}, &tail)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payloads, validBytes, nil
+}
+
+// newByteReader wraps a slice as an io.Reader without bytes.Reader's
+// extra state (keeps ReadSegment allocation-light under fuzzing).
+func newByteReader(b []byte) io.Reader { return &byteReader{b: b} }
+
+type byteReader struct{ b []byte }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

@@ -27,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +35,9 @@ import (
 	"drnet/internal/biasobs"
 	"drnet/internal/core"
 	"drnet/internal/mathx"
+	"drnet/internal/obs"
 	"drnet/internal/traceio"
+	"drnet/internal/wideevent"
 )
 
 func main() {
@@ -49,6 +52,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "RNG seed for the bootstrap")
 		windows   = flag.Int("windows", 0, "index windows for the bias-observatory report (0 = off)")
 		diagOnly  = flag.Bool("diagnose", false, "print diagnostics only, skip the estimators")
+		eventsOut = flag.String("events-out", "", "append one JSONL wide event describing this run to the given file")
 	)
 	flag.Parse()
 	if *tracePath == "" || *policy == "" {
@@ -62,18 +66,68 @@ func main() {
 	if *diagOnly && *windows == 0 {
 		*windows = biasobs.DefaultWindows
 	}
-	if err := run(*tracePath, *format, *policy, *estProp, *clip, *selfNorm, *bootstrap, *seed, *windows, *diagOnly); err != nil {
+	// The CLI honours the same one-run-one-event contract as the
+	// server: a single flat wide event per invocation, success or
+	// failure, appended as JSONL. The builder is nil when -events-out
+	// is unset; every Builder method is nil-safe.
+	var journal *wideevent.Journal
+	var evb *wideevent.Builder
+	if *eventsOut != "" {
+		journal = wideevent.NewJournal(wideevent.Options{Capacity: 1, SampleRate: 1})
+		evb = journal.Begin(obs.NewID(), "dreval")
+	}
+	err := run(*tracePath, *format, *policy, *estProp, *clip, *selfNorm, *bootstrap, *seed, *windows, *diagOnly, evb)
+	if journal != nil {
+		if werr := writeRunEvent(journal, evb, *eventsOut, err); werr != nil {
+			fmt.Fprintf(os.Stderr, "dreval: writing -events-out: %v\n", werr)
+			os.Exit(1)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dreval: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, format, policySpec string, estProp bool, clip float64, selfNorm bool, bootstrapB int, seed int64, windows int, diagOnly bool) error {
+// writeRunEvent finalises the run's wide event (status 200 on
+// success, 500 with the error message otherwise) and appends it as
+// one JSONL line.
+func writeRunEvent(journal *wideevent.Journal, evb *wideevent.Builder, path string, runErr error) error {
+	if runErr != nil {
+		evb.SetError(runErr.Error())
+		evb.Finish(500)
+	} else {
+		evb.Finish(200)
+	}
+	evs := journal.Events()
+	if len(evs) != 1 {
+		return fmt.Errorf("journal holds %d events, want 1", len(evs))
+	}
+	line, err := json.Marshal(evs[0])
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		// The write error is already being returned; a close failure
+		// here adds nothing the caller can act on.
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(tracePath, format, policySpec string, estProp bool, clip float64, selfNorm bool, bootstrapB int, seed int64, windows int, diagOnly bool, evb *wideevent.Builder) error {
+	evb.SetPolicy(policySpec)
 	f, err := os.Open(tracePath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	endRead := evb.Phase("read_trace")
 	var ft traceio.FlatTrace
 	switch format {
 	case "csv":
@@ -83,6 +137,7 @@ func run(tracePath, format, policySpec string, estProp bool, clip float64, selfN
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}
+	endRead()
 	if err != nil {
 		return err
 	}
@@ -103,10 +158,13 @@ func run(tracePath, format, policySpec string, estProp bool, clip float64, selfN
 		return err
 	}
 
+	endDiag := evb.Phase("diagnose")
 	diag, err := core.Diagnose(trace, newPolicy)
+	endDiag()
 	if err != nil {
 		return err
 	}
+	evb.SetRegime(diag.ESS/float64(diag.N), diag.MaxWeight, diag.ZeroSupport)
 	fmt.Printf("trace: %d records, %d distinct decisions\n", len(trace), len(trace.DecisionCounts()))
 	fmt.Printf("old policy on-policy value: %.4f\n", trace.MeanReward())
 	fmt.Printf("overlap: %s\n\n", diag)
@@ -116,10 +174,13 @@ func run(tracePath, format, policySpec string, estProp bool, clip float64, selfN
 		if err != nil {
 			return err
 		}
+		endBias := evb.Phase("bias_observatory")
 		report, err := biasobs.Compute(view, newPolicy, biasobs.Config{Windows: windows})
+		endBias()
 		if err != nil {
 			return err
 		}
+		evb.SetBiasGrade(report.Summary().Grade)
 		fmt.Println(report.Render())
 	}
 	if diagOnly {
@@ -146,14 +207,17 @@ func run(tracePath, format, policySpec string, estProp bool, clip float64, selfN
 	fmt.Printf("DR:                 %s\n", dr)
 
 	if bootstrapB > 0 {
+		endBoot := evb.Phase("bootstrap")
 		rng := mathx.NewRNG(seed)
 		ci, err := core.Bootstrap(trace, func(t core.Trace[traceio.FlatContext, string]) (core.Estimate, error) {
 			m := core.FitTable(t, func(c traceio.FlatContext, d string) string { return c.Key() + "|" + d })
 			return core.DoublyRobust(t, newPolicy, m, core.DROptions{Clip: clip, SelfNormalize: selfNorm})
 		}, rng, bootstrapB, 0.95)
+		endBoot()
 		if err != nil {
 			return err
 		}
+		evb.SetBootstrap(bootstrapB, 0)
 		fmt.Printf("DR 95%% bootstrap CI: [%.4f, %.4f]\n", ci.Lo, ci.Hi)
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"drnet/internal/core"
 	"drnet/internal/mathx"
 	"drnet/internal/traceio"
+	"drnet/internal/wideevent"
 )
 
 func writeTestTrace(t *testing.T, blankPropensities bool) string {
@@ -49,14 +51,14 @@ func writeTestTrace(t *testing.T, blankPropensities bool) string {
 
 func TestRunConstantPolicy(t *testing.T) {
 	path := writeTestTrace(t, false)
-	if err := run(path, "csv", "constant:c", false, 0, false, 50, 1, 0, false); err != nil {
+	if err := run(path, "csv", "constant:c", false, 0, false, 50, 1, 0, false, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBestObserved(t *testing.T) {
 	path := writeTestTrace(t, false)
-	if err := run(path, "csv", "best-observed", false, 10, true, 0, 1, 0, false); err != nil {
+	if err := run(path, "csv", "best-observed", false, 10, true, 0, 1, 0, false, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -64,27 +66,27 @@ func TestRunBestObserved(t *testing.T) {
 func TestRunEstimatesPropensities(t *testing.T) {
 	path := writeTestTrace(t, true)
 	// Without estimation the trace is invalid...
-	if err := run(path, "csv", "constant:c", false, 0, false, 0, 1, 0, false); err == nil {
+	if err := run(path, "csv", "constant:c", false, 0, false, 0, 1, 0, false, nil); err == nil {
 		t.Fatal("expected validation error for zero propensities")
 	}
 	// ...with estimation it works.
-	if err := run(path, "csv", "constant:c", true, 0, false, 0, 1, 0, false); err != nil {
+	if err := run(path, "csv", "constant:c", true, 0, false, 0, 1, 0, false, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/does/not/exist.csv", "csv", "constant:c", false, 0, false, 0, 1, 0, false); err == nil {
+	if err := run("/does/not/exist.csv", "csv", "constant:c", false, 0, false, 0, 1, 0, false, nil); err == nil {
 		t.Fatal("expected file error")
 	}
 	path := writeTestTrace(t, false)
-	if err := run(path, "tsv", "constant:c", false, 0, false, 0, 1, 0, false); err == nil {
+	if err := run(path, "tsv", "constant:c", false, 0, false, 0, 1, 0, false, nil); err == nil {
 		t.Fatal("expected format error")
 	}
-	if err := run(path, "csv", "wat", false, 0, false, 0, 1, 0, false); err == nil {
+	if err := run(path, "csv", "wat", false, 0, false, 0, 1, 0, false, nil); err == nil {
 		t.Fatal("expected policy error")
 	}
-	if err := run(path, "csv", "constant:", false, 0, false, 0, 1, 0, false); err == nil {
+	if err := run(path, "csv", "constant:", false, 0, false, 0, 1, 0, false, nil); err == nil {
 		t.Fatal("expected empty-decision error")
 	}
 }
@@ -144,7 +146,7 @@ func captureStdout(t *testing.T, fn func() error) string {
 func TestRunWindowedReport(t *testing.T) {
 	path := writeTestTrace(t, false)
 	out := captureStdout(t, func() error {
-		return run(path, "csv", "constant:c", false, 0, false, 0, 1, 6, false)
+		return run(path, "csv", "constant:c", false, 0, false, 0, 1, 6, false, nil)
 	})
 	if !strings.Contains(out, "bias observatory:") {
 		t.Fatalf("windowed report missing from output:\n%s", out)
@@ -160,7 +162,7 @@ func TestRunWindowedReport(t *testing.T) {
 func TestRunDiagnoseOnlySkipsEstimators(t *testing.T) {
 	path := writeTestTrace(t, false)
 	out := captureStdout(t, func() error {
-		return run(path, "csv", "constant:c", false, 0, false, 0, 1, 8, true)
+		return run(path, "csv", "constant:c", false, 0, false, 0, 1, 8, true, nil)
 	})
 	if !strings.Contains(out, "bias observatory:") {
 		t.Fatalf("windowed report missing from output:\n%s", out)
@@ -191,7 +193,61 @@ func TestRunJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	jf.Close()
-	if err := run(jpath, "jsonl", "constant:b", false, 0, false, 0, 1, 0, false); err != nil {
+	if err := run(jpath, "jsonl", "constant:b", false, 0, false, 0, 1, 0, false, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunEmitsWideEvent covers -events-out: one JSONL wide event per
+// invocation, success or failure, appended in order.
+func TestRunEmitsWideEvent(t *testing.T) {
+	path := writeTestTrace(t, false)
+	out := filepath.Join(t.TempDir(), "events.jsonl")
+
+	j := wideevent.NewJournal(wideevent.Options{Capacity: 1, SampleRate: 1})
+	evb := j.Begin("run-ok", "dreval")
+	runErr := run(path, "csv", "constant:c", false, 0, false, 25, 1, 4, false, evb)
+	if err := writeRunEvent(j, evb, out, runErr); err != nil {
+		t.Fatal(err)
+	}
+
+	j = wideevent.NewJournal(wideevent.Options{Capacity: 1, SampleRate: 1})
+	evb = j.Begin("run-bad", "dreval")
+	runErr = run(path, "csv", "wat", false, 0, false, 0, 1, 0, false, evb)
+	if runErr == nil {
+		t.Fatal("expected policy error")
+	}
+	if err := writeRunEvent(j, evb, out, runErr); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2:\n%s", len(lines), raw)
+	}
+	var ok, bad wideevent.Event
+	if err := json.Unmarshal([]byte(lines[0]), &ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &bad); err != nil {
+		t.Fatal(err)
+	}
+	if ok.RequestID != "run-ok" || ok.Route != "dreval" || ok.Status != 200 || ok.Policy != "constant:c" {
+		t.Fatalf("success event = %+v", ok)
+	}
+	if ok.ESSRatio <= 0 || ok.BiasGrade == "" || ok.BootstrapResamples != 25 {
+		t.Fatalf("success event missing regime fields: %+v", ok)
+	}
+	for _, phase := range []string{"read_trace", "diagnose", "bias_observatory", "bootstrap"} {
+		if _, present := ok.PhaseMs[phase]; !present {
+			t.Fatalf("success event phaseMs missing %q: %v", phase, ok.PhaseMs)
+		}
+	}
+	if bad.RequestID != "run-bad" || bad.Status != 500 || bad.Error == "" {
+		t.Fatalf("failure event = %+v", bad)
 	}
 }

@@ -89,16 +89,11 @@ func registerBiasMetrics(r *obs.Registry) biasMetrics {
 var biasM = registerBiasMetrics(obs.Default)
 
 // gradeValue maps the health grade onto the drevald_bias_last_grade
-// gauge scale.
+// gauge scale — biasobs.GradeRank, which the SLO engine's drift-free
+// classification shares, so gauge and SLO can never rank a grade
+// differently.
 func gradeValue(grade string) float64 {
-	switch grade {
-	case biasobs.GradeWatch:
-		return 1
-	case biasobs.GradeDrift:
-		return 2
-	default:
-		return 0
-	}
+	return float64(biasobs.GradeRank(grade))
 }
 
 // observeBias runs the windowed observatory over the request's view as
@@ -110,7 +105,7 @@ func observeBias(ctx context.Context, root *obs.Span, id string, view *core.Trac
 	if biasWindows <= 0 {
 		return nil, nil
 	}
-	report, err := timed(root, "bias_observatory", func() (*biasobs.Report, error) {
+	report, err := timed(ctx, root, "bias_observatory", func() (*biasobs.Report, error) {
 		return biasobs.ComputeCtx(ctx, view, policy, biasobs.Config{
 			Windows:        biasWindows,
 			DriftThreshold: biasDriftThreshold,

@@ -1,0 +1,471 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"drnet/internal/parallel"
+	"drnet/internal/resilience"
+	"drnet/internal/slo"
+	"drnet/internal/wideevent"
+)
+
+// eventClock is a hand-advanced clock for deterministic journals and
+// SLO engines.
+type eventClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newEventClock() *eventClock {
+	return &eventClock{t: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *eventClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *eventClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// withEventJournal swaps in a fresh journal (observer wired to the
+// current SLO engine, like production) and restores on cleanup.
+func withEventJournal(t *testing.T, opts wideevent.Options) *wideevent.Journal {
+	t.Helper()
+	old := eventJournal
+	j := newEventJournal(opts)
+	eventJournal = j
+	t.Cleanup(func() { eventJournal = old })
+	return j
+}
+
+// withSLOEngine swaps in an engine on the given clock with the
+// production transition hook, restoring the engine and clearing the
+// active-page set on cleanup.
+func withSLOEngine(t *testing.T, cfg slo.Config, now func() time.Time) *slo.Engine {
+	t.Helper()
+	eng, err := slo.New(cfg, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetHook(sloTransition)
+	old := sloEngine
+	sloEngine = eng
+	t.Cleanup(func() {
+		sloEngine = old
+		sloPageMu.Lock()
+		sloPages = map[string]resilience.Reason{}
+		sloPageMu.Unlock()
+	})
+	return eng
+}
+
+// postRawWithID POSTs raw (possibly malformed) bytes with a pinned
+// X-Request-Id; postWithID (traces_test.go) covers the well-formed
+// cases.
+func postRawWithID(t *testing.T, srv *httptest.Server, path, id string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", srv.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", id)
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func getBody(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func marshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func findEvent(evs []*wideevent.Event, id string) *wideevent.Event {
+	for _, ev := range evs {
+		if ev.RequestID == id {
+			return ev
+		}
+	}
+	return nil
+}
+
+// TestOneEventPerRequest is the exactly-one invariant, end to end:
+// every /evaluate, /diagnose and /ingest request — success or error —
+// emits exactly one wide event, and untraced routes emit none.
+func TestOneEventPerRequest(t *testing.T) {
+	clock := newEventClock()
+	j := withEventJournal(t, wideevent.Options{Capacity: 64, SampleRate: 1, Seed: 1, Now: clock.Now})
+	withStreamEngine(t, streamConfig{SegmentBytes: 4096})
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+
+	evalBody := marshal(t, evalRequest{Trace: testTraceJSON(t, false), Policy: "constant:c", Options: evalOptions{Bootstrap: 30, Seed: 3}})
+
+	resp := postRawWithID(t, srv, "/evaluate", "ev-ok", evalBody)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate status %d", resp.StatusCode)
+	}
+	if got := j.Stats().Emitted; got != 1 {
+		t.Fatalf("emitted = %d after one /evaluate, want 1", got)
+	}
+
+	resp = postRawWithID(t, srv, "/diagnose", "dg-ok", marshal(t, evalRequest{Trace: testTraceJSON(t, false), Policy: "constant:c"}))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnose status %d", resp.StatusCode)
+	}
+
+	resp = postRawWithID(t, srv, "/evaluate", "ev-bad", []byte("{not json"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad-body status %d, want 400", resp.StatusCode)
+	}
+
+	ingBody := marshal(t, ingestRequest{Records: testTraceJSON(t, false)})
+	resp = postRawWithID(t, srv, "/ingest", "ing-ok", ingBody)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+
+	if got := j.Stats().Emitted; got != 4 {
+		t.Fatalf("emitted = %d after four traced requests, want 4", got)
+	}
+
+	// Untraced routes emit nothing.
+	if code, _ := getBody(t, srv, "/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if code, _ := getBody(t, srv, "/debug/events"); code != http.StatusOK {
+		t.Fatalf("debug/events status %d", code)
+	}
+	if got := j.Stats().Emitted; got != 4 {
+		t.Fatalf("emitted = %d after untraced requests, want still 4", got)
+	}
+
+	evs := j.Events()
+	ok := findEvent(evs, "ev-ok")
+	if ok == nil {
+		t.Fatal("no event for ev-ok")
+	}
+	if ok.Route != "/evaluate" || ok.Status != 200 || ok.Policy != "constant:c" {
+		t.Fatalf("ev-ok = %+v", ok)
+	}
+	if ok.ESSRatio <= 0 || ok.ESSRatio > 1 {
+		t.Fatalf("ev-ok essRatio = %g", ok.ESSRatio)
+	}
+	if ok.BiasGrade == "" {
+		t.Fatalf("ev-ok biasGrade empty (observatory on by default)")
+	}
+	if ok.BootstrapResamples != 30 {
+		t.Fatalf("ev-ok bootstrapResamples = %d, want 30", ok.BootstrapResamples)
+	}
+	for _, phase := range []string{"build_view", "diagnose", "ips", "drevald_bootstrap"} {
+		if _, present := ok.PhaseMs[phase]; !present {
+			t.Fatalf("ev-ok phaseMs missing %q: %v", phase, ok.PhaseMs)
+		}
+	}
+	bad := findEvent(evs, "ev-bad")
+	if bad == nil || bad.Status != 400 || bad.Error == "" {
+		t.Fatalf("ev-bad = %+v, want status 400 with error", bad)
+	}
+	ing := findEvent(evs, "ing-ok")
+	if ing == nil {
+		t.Fatal("no event for ing-ok")
+	}
+	// Seq is 0-based (first batch acks 0); epoch counts records.
+	if ing.WALEpoch != 400 || ing.WALSegment == "" || !ing.WALDurable {
+		t.Fatalf("ing-ok WAL ack = epoch %d segment %q durable %v", ing.WALEpoch, ing.WALSegment, ing.WALDurable)
+	}
+}
+
+// TestStreamedEventAnnotations covers the aggregate-served path: the
+// wide event carries stream epoch/staleness and the canonical
+// fallback estimator name when degraded.
+func TestStreamedEventAnnotations(t *testing.T) {
+	clock := newEventClock()
+	j := withEventJournal(t, wideevent.Options{Capacity: 64, SampleRate: 1, Seed: 1, Now: clock.Now})
+	withStreamEngine(t, streamConfig{SegmentBytes: 4096, MaxModelAge: 1})
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+
+	records := testTraceJSON(t, false)
+	resp := postRawWithID(t, srv, "/ingest", "ing-1", marshal(t, ingestRequest{Records: records}))
+	resp.Body.Close()
+	// Register the fingerprint at the current epoch, then ingest more so
+	// the model goes stale past -max-model-age.
+	resp = postRawWithID(t, srv, "/evaluate", "sev-fresh", marshal(t, evalRequest{Policy: "constant:c"}))
+	resp.Body.Close()
+	resp = postRawWithID(t, srv, "/ingest", "ing-2", marshal(t, ingestRequest{Records: records}))
+	resp.Body.Close()
+	resp = postRawWithID(t, srv, "/evaluate", "sev-stale", marshal(t, evalRequest{Policy: "constant:c"}))
+	defer resp.Body.Close()
+	var out evalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Degraded || out.FallbackEstimator != "snips-stream" {
+		t.Fatalf("stale stream response = degraded %v fallbackEstimator %q", out.Degraded, out.FallbackEstimator)
+	}
+	ev := findEvent(j.Events(), "sev-stale")
+	if ev == nil {
+		t.Fatal("no event for sev-stale")
+	}
+	if !ev.Streamed || ev.StreamEpoch != 2*len(records) || ev.StalenessRecords != len(records) {
+		t.Fatalf("sev-stale stream fields = %+v", ev)
+	}
+	if !ev.Degraded || ev.FallbackEstimator != "snips-stream" {
+		t.Fatalf("sev-stale degradation fields = degraded %v fallback %q", ev.Degraded, ev.FallbackEstimator)
+	}
+	for _, code := range ev.DegradedReasons {
+		if code == resilience.ReasonStaleAggs {
+			return
+		}
+	}
+	t.Fatalf("sev-stale reasons %v missing %s", ev.DegradedReasons, resilience.ReasonStaleAggs)
+}
+
+// TestTailRetentionE2E proves the tail bias end to end: at sample
+// rate 0 healthy requests are sampled out but error and degraded
+// requests are always retained and queryable through the filters.
+func TestTailRetentionE2E(t *testing.T) {
+	clock := newEventClock()
+	j := withEventJournal(t, wideevent.Options{Capacity: 64, SampleRate: 0, Seed: 1, Now: clock.Now})
+	// All-zero thresholds disable intrinsic degradation so the three
+	// warm-up requests really are healthy (the test trace's natural
+	// zero-support would otherwise trip the default cap).
+	withThresholds(t, resilience.Thresholds{})
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+
+	evalBody := marshal(t, evalRequest{Trace: testTraceJSON(t, false), Policy: "constant:c"})
+	for i := 0; i < 3; i++ {
+		resp := postRawWithID(t, srv, "/evaluate", "healthy", evalBody)
+		resp.Body.Close()
+	}
+	resp := postRawWithID(t, srv, "/evaluate", "broken", []byte("{"))
+	resp.Body.Close()
+	// An impossible ESS floor makes the next request degraded.
+	degradeThresholds = resilience.Thresholds{ESSRatioFloor: 2}
+	resp = postRawWithID(t, srv, "/evaluate", "degraded", evalBody)
+	resp.Body.Close()
+
+	st := j.Stats()
+	if st.Emitted != 5 || st.SampledOut != 3 || st.Recorded != 2 {
+		t.Fatalf("stats = %+v, want 5 emitted, 3 sampled out, 2 recorded", st)
+	}
+	if ev := findEvent(j.Events(), "healthy"); ev != nil {
+		t.Fatalf("healthy event retained at rate 0: %+v", ev)
+	}
+
+	code, body := getBody(t, srv, "/debug/events?degraded=true")
+	if code != http.StatusOK {
+		t.Fatalf("filter status %d", code)
+	}
+	var q struct {
+		Stats  wideevent.Stats    `json:"stats"`
+		Events []*wideevent.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Events) != 1 || q.Events[0].RequestID != "degraded" {
+		t.Fatalf("degraded=true returned %+v", q.Events)
+	}
+	code, body = getBody(t, srv, "/debug/events?status=400")
+	if code != http.StatusOK || !strings.Contains(body, `"broken"`) {
+		t.Fatalf("status=400 filter: code %d body %s", code, body)
+	}
+}
+
+// TestEventAndSLODeterministicAcrossWorkers locks the acceptance
+// criterion: under a fixed clock, seed and pinned request IDs, the
+// /debug/events and /debug/slo bodies are byte-identical at
+// worker-pool widths 1, 2 and 8.
+func TestEventAndSLODeterministicAcrossWorkers(t *testing.T) {
+	evalBody := marshal(t, evalRequest{Trace: testTraceJSON(t, false), Policy: "constant:c", Options: evalOptions{Bootstrap: 40, Seed: 7}})
+	diagBody := marshal(t, evalRequest{Trace: testTraceJSON(t, false), Policy: "constant:c"})
+
+	oldWorkers := parallel.DefaultWorkers()
+	t.Cleanup(func() { parallel.SetDefaultWorkers(oldWorkers) })
+
+	var wantEvents, wantSLO string
+	for _, workers := range []int{1, 2, 8} {
+		parallel.SetDefaultWorkers(workers)
+		clock := newEventClock()
+		withEventJournal(t, wideevent.Options{Capacity: 64, SampleRate: 1, Seed: 42, Now: clock.Now})
+		withSLOEngine(t, slo.DefaultConfig(), clock.Now)
+		srv := httptest.NewServer(newMux())
+
+		for i, id := range []string{"ev-0", "ev-1", "ev-2"} {
+			resp := postRawWithID(t, srv, "/evaluate", id, evalBody)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("workers=%d evaluate %d status %d", workers, i, resp.StatusCode)
+			}
+		}
+		resp := postRawWithID(t, srv, "/diagnose", "dg-0", diagBody)
+		resp.Body.Close()
+		resp = postRawWithID(t, srv, "/evaluate", "bad-0", []byte("{"))
+		resp.Body.Close()
+
+		_, events := getBody(t, srv, "/debug/events?limit=1000")
+		_, sloBody := getBody(t, srv, "/debug/slo")
+		srv.Close()
+
+		if wantEvents == "" {
+			wantEvents, wantSLO = events, sloBody
+			continue
+		}
+		if events != wantEvents {
+			t.Fatalf("workers=%d /debug/events differs:\n%s\n%s", workers, events, wantEvents)
+		}
+		if sloBody != wantSLO {
+			t.Fatalf("workers=%d /debug/slo differs:\n%s\n%s", workers, sloBody, wantSLO)
+		}
+	}
+	if !strings.Contains(wantSLO, `"availability"`) || !strings.Contains(wantSLO, `"state":"ok"`) {
+		t.Fatalf("slo body missing expected shape: %s", wantSLO)
+	}
+}
+
+// TestDegradeOnSLOPageEscalation drives the full escalation loop: a
+// page-severity burn (observed by the engine, surfaced by Eval) tags
+// subsequent /evaluate responses degraded with an slo_burn reason,
+// and recovery clears the tag.
+func TestDegradeOnSLOPageEscalation(t *testing.T) {
+	clock := newEventClock()
+	withEventJournal(t, wideevent.Options{Capacity: 64, SampleRate: 1, Seed: 1, Now: clock.Now})
+	eng := withSLOEngine(t, slo.Config{
+		Objectives:    []slo.Objective{{Name: "avail", Kind: slo.KindAvailability, Target: 0.9}},
+		Windows:       []slo.Window{{Name: "fast", ShortSeconds: 60, LongSeconds: 300, Burn: 5, Severity: "page"}},
+		BucketSeconds: 10,
+	}, clock.Now)
+	oldDegrade := degradeOnSLOPage
+	degradeOnSLOPage = true
+	t.Cleanup(func() { degradeOnSLOPage = oldDegrade })
+	// Disable intrinsic degradation: the burn must be the only reason.
+	withThresholds(t, resilience.Thresholds{})
+
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+
+	// Simulate an outage the engine observed: 60 seconds of 500s.
+	for i := 0; i < 60; i++ {
+		eng.Observe(&wideevent.Event{Route: "/evaluate", Status: 500})
+		clock.Advance(time.Second)
+	}
+	// The state machine advances on Eval — a /debug/slo poll, exactly
+	// as a scrape would.
+	if _, body := getBody(t, srv, "/debug/slo"); !strings.Contains(body, `"state":"page"`) {
+		t.Fatalf("slo state after outage: %s", body)
+	}
+
+	evalBody := marshal(t, evalRequest{Trace: testTraceJSON(t, false), Policy: "constant:c"})
+	resp := postRawWithID(t, srv, "/evaluate", "during-burn", evalBody)
+	var out evalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !out.Degraded || out.FallbackEstimator != "snips-clip" {
+		t.Fatalf("during-burn = degraded %v fallback %q, want slo-degraded with fallback", out.Degraded, out.FallbackEstimator)
+	}
+	found := false
+	for _, r := range out.DegradedReasons {
+		if r.Code == resilience.ReasonSLOBurn {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("during-burn reasons %+v missing %s", out.DegradedReasons, resilience.ReasonSLOBurn)
+	}
+
+	// Recovery: walk past every window, re-evaluate the machine, and
+	// the tag clears.
+	clock.Advance(400 * time.Second)
+	if _, body := getBody(t, srv, "/debug/slo"); !strings.Contains(body, `"state":"ok"`) {
+		t.Fatalf("slo state after recovery: %s", body)
+	}
+	resp = postRawWithID(t, srv, "/evaluate", "after-recovery", evalBody)
+	out = evalResponse{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Degraded {
+		t.Fatalf("after-recovery still degraded: %+v", out.DegradedReasons)
+	}
+}
+
+// TestHealthzAndVarsCarryJournal checks the rollup satellites: the
+// /healthz body carries the journal counters and SLO grade, and
+// /debug/vars carries the journal stats block.
+func TestHealthzAndVarsCarryJournal(t *testing.T) {
+	clock := newEventClock()
+	withEventJournal(t, wideevent.Options{Capacity: 16, SampleRate: 1, Seed: 1, Now: clock.Now})
+	withSLOEngine(t, slo.DefaultConfig(), clock.Now)
+	srv := httptest.NewServer(newMux())
+	defer srv.Close()
+
+	resp := postRawWithID(t, srv, "/evaluate", "h-1", marshal(t, evalRequest{Trace: testTraceJSON(t, false), Policy: "constant:c"}))
+	resp.Body.Close()
+
+	_, body := getBody(t, srv, "/healthz")
+	var h healthJSON
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Events == nil || h.Events.Emitted != 1 || h.Events.Recorded != 1 {
+		t.Fatalf("healthz events = %+v", h.Events)
+	}
+	if h.SLO != "ok" {
+		t.Fatalf("healthz slo = %q", h.SLO)
+	}
+
+	_, body = getBody(t, srv, "/debug/vars")
+	var vars struct {
+		Events *wideevent.Stats `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatal(err)
+	}
+	// /healthz itself is untraced, so the count is unchanged.
+	if vars.Events == nil || vars.Events.Emitted != 1 {
+		t.Fatalf("debug/vars events = %+v", vars.Events)
+	}
+}

@@ -75,8 +75,10 @@ import (
 	"drnet/internal/obs"
 	"drnet/internal/parallel"
 	"drnet/internal/resilience"
+	"drnet/internal/slo"
 	"drnet/internal/traceio"
 	"drnet/internal/walog"
+	"drnet/internal/wideevent"
 )
 
 func main() {
@@ -106,6 +108,13 @@ func main() {
 	ingestQueue := flag.Int("ingest-max-queue", 64, "ingest batches allowed to wait before 429 (0 = no queue)")
 	maxModelAge := flag.Uint64("max-model-age", 0, "degrade streamed responses whose reward model is more than this many records behind the live epoch (0 = never)")
 	biasRefresh := flag.Int("bias-refresh", 0, "rerun the bias observatory over the streamed view every this many ingested records (0 = disabled)")
+	eventsBuffer := flag.Int("events-buffer", eventJournal.Capacity(), "wide events retained in memory for /debug/events (must be >= 1)")
+	eventsSample := flag.Float64("events-sample", 1, "fraction of healthy wide events retained; error, degraded and slow events are always kept (must be in [0, 1])")
+	eventsSlowMs := flag.Float64("events-slow-ms", 250, "wide events at least this slow are always retained regardless of -events-sample (0 = disabled)")
+	eventsSeed := flag.Uint64("events-seed", 1, "seed of the deterministic healthy-event sampler")
+	eventsOut := flag.String("events-out", "", "append every retained wide event as one JSON line (JSONL) to this file (empty = disabled)")
+	sloConfig := flag.String("slo-config", "", "JSON file declaring the SLO objectives and burn-rate windows (empty = built-in defaults)")
+	degradeSLOPage := flag.Bool("degrade-on-slo-page", degradeOnSLOPage, "tag /evaluate responses degraded with an slo_burn reason while any objective burns at page severity")
 	flag.Parse()
 	if *drain <= 0 {
 		log.Fatalf("drevald: -drain-timeout must be > 0, got %v", *drain)
@@ -143,6 +152,51 @@ func main() {
 	biasWindows = *bWindows
 	biasDriftThreshold = *bDrift
 	degradeOnDrift = *degradeDrift
+	if *eventsBuffer < 1 {
+		log.Fatalf("drevald: -events-buffer must be >= 1, got %d", *eventsBuffer)
+	}
+	if *eventsSample < 0 || *eventsSample > 1 {
+		log.Fatalf("drevald: -events-sample must be in [0, 1], got %g", *eventsSample)
+	}
+	if *eventsSlowMs < 0 {
+		log.Fatalf("drevald: -events-slow-ms must be >= 0, got %g", *eventsSlowMs)
+	}
+	eventJournal = newEventJournal(wideevent.Options{
+		Capacity:   *eventsBuffer,
+		SampleRate: *eventsSample,
+		SlowMs:     *eventsSlowMs,
+		Seed:       *eventsSeed,
+	})
+	if *eventsOut != "" {
+		f, err := os.OpenFile(*eventsOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("drevald: -events-out: %v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				srvLog.Error("events-out close failed", "path", *eventsOut, "err", err)
+			}
+		}()
+		eventJournal.SetSink(func(line []byte) { _, _ = f.Write(line) })
+		// LIFO: flush the sink's drainer before the file closes.
+		defer eventJournal.SetSink(nil)
+	}
+	if *sloConfig != "" {
+		doc, err := os.ReadFile(*sloConfig)
+		if err != nil {
+			log.Fatalf("drevald: -slo-config: %v", err)
+		}
+		cfg, err := slo.Parse(doc)
+		if err != nil {
+			log.Fatalf("drevald: -slo-config: %v", err)
+		}
+		eng, err := newSLOEngine(cfg)
+		if err != nil {
+			log.Fatalf("drevald: -slo-config: %v", err)
+		}
+		sloEngine = eng
+	}
+	degradeOnSLOPage = *degradeSLOPage
 	if *traceBuffer < 1 {
 		log.Fatalf("drevald: -trace-buffer must be >= 1, got %d", *traceBuffer)
 	}
@@ -334,6 +388,8 @@ func newMux() *http.ServeMux {
 	mux.Handle("GET /debug/vars", instrument("/debug/vars", handleVars))
 	mux.Handle("GET /debug/traces", instrument("/debug/traces", handleTraces))
 	mux.Handle("GET /debug/bias", instrument("/debug/bias", handleBias))
+	mux.Handle("GET /debug/events", instrument("/debug/events", handleEvents))
+	mux.Handle("GET /debug/slo", instrument("/debug/slo", handleSLO))
 	return mux
 }
 
@@ -355,6 +411,13 @@ type healthJSON struct {
 	// WAL reports the streaming engine's state (epoch, replay progress,
 	// segment footprint). Absent when -wal-dir is unset.
 	WAL *walJSON `json:"wal,omitempty"`
+	// Events is the wide-event journal's counter block (emitted,
+	// recorded, sampled out, sink drops), so probes can watch journal
+	// health without querying /debug/events.
+	Events *wideevent.Stats `json:"events,omitempty"`
+	// SLO is the burn-rate rollup grade — the worst objective's alert
+	// state ("ok", "warning" or "page") at probe time.
+	SLO string `json:"slo,omitempty"`
 }
 
 func handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -380,6 +443,9 @@ func handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if eng := streamEng; eng != nil {
 		h.WAL = eng.status()
 	}
+	st := eventJournal.Stats()
+	h.Events = &st
+	h.SLO = sloEngine.Eval().State
 	writeJSON(w, h)
 }
 
@@ -458,7 +524,12 @@ type evalResponse struct {
 	// Fallback — or collect a better trace — when Degraded is set.
 	Degraded        bool                `json:"degraded"`
 	DegradedReasons []resilience.Reason `json:"degradedReasons,omitempty"`
-	Fallback        *fallbackJSON       `json:"fallback,omitempty"`
+	// FallbackEstimator is the canonical name of the fallback estimate
+	// below ("snips-clip" batch, "snips-stream" streamed) — the single
+	// field clients, the wide-event journal and the SLO classifiers all
+	// read, so the name can never diverge between surfaces.
+	FallbackEstimator string        `json:"fallbackEstimator,omitempty"`
+	Fallback          *fallbackJSON `json:"fallback,omitempty"`
 	// Stream is present iff the response was served from streaming
 	// aggregates (empty trace + -wal-dir): which fingerprint answered,
 	// the live epoch, and how stale the frozen reward model is.
@@ -635,10 +706,15 @@ type evalErrorJSON struct {
 
 // timed runs one evaluation phase as a named child span of the
 // request's root span (started by the instrument middleware), marking
-// the span failed when the phase errors. With no root span in the
-// context, StartChild degrades to a fresh root, so the phase is still
-// measured.
-func timed[T any](parent *obs.Span, name string, fn func() (T, error)) (T, error) {
+// the span failed when the phase errors. The same name accumulates
+// into the request's wide event as a phaseMs entry, read from ctx —
+// one instrumentation point feeds both the span tree and the journal.
+// With no root span in the context, StartChild degrades to a fresh
+// root, so the phase is still measured; with no wide-event builder,
+// the phase hook is a no-op.
+func timed[T any](ctx context.Context, parent *obs.Span, name string, fn func() (T, error)) (T, error) {
+	endPhase := wideevent.FromContext(ctx).Phase(name)
+	defer endPhase()
 	sp := parent.StartChild(name)
 	defer sp.End()
 	v, err := fn()
@@ -668,7 +744,7 @@ type diagnoseResponse struct {
 }
 
 func handleDiagnose(w http.ResponseWriter, r *http.Request) {
-	_, trace, policy, ok := decodeRequest(w, r, handleStreamDiagnose)
+	req, trace, policy, ok := decodeRequest(w, r, handleStreamDiagnose)
 	if !ok {
 		return
 	}
@@ -676,7 +752,7 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	root := obs.SpanFromContext(r.Context())
 	buildStart := time.Now()
-	view, err := timed(root, "build_view", func() (*core.TraceView[traceio.FlatContext, string], error) {
+	view, err := timed(ctx, root, "build_view", func() (*core.TraceView[traceio.FlatContext, string], error) {
 		return core.NewTraceViewKeyedCtx(ctx, trace, traceio.FlatContext.Key)
 	})
 	if err != nil {
@@ -684,7 +760,7 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	recordTraceSummary(view, time.Since(buildStart))
-	diag, err := timed(root, "diagnose", func() (core.Diagnostics, error) {
+	diag, err := timed(ctx, root, "diagnose", func() (core.Diagnostics, error) {
 		return core.DiagnoseViewCtx(ctx, view, policy)
 	})
 	if err != nil {
@@ -695,6 +771,12 @@ func handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeEvalError(w, err)
 		return
+	}
+	evb := wideevent.FromContext(r.Context())
+	evb.SetPolicy(req.Policy)
+	evb.SetRegime(diag.ESS/float64(diag.N), diag.MaxWeight, diag.ZeroSupport)
+	if health != nil {
+		evb.SetBiasGrade(health.Grade)
 	}
 	writeJSON(w, diagnoseResponse{diagnosticsJSON: diagJSON(diag), TraceHealth: health})
 }
@@ -707,12 +789,14 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := requestCtx(r)
 	defer cancel()
 	root := obs.SpanFromContext(r.Context())
+	evb := wideevent.FromContext(r.Context())
+	evb.SetPolicy(req.Policy)
 	// Columnar hot path: intern the trace once, then every phase below
 	// (diagnostics, model fit, estimators, bootstrap) reads the shared
 	// view — bit-identical results to the record-slice path, proved by
 	// internal/core's view equivalence suite.
 	buildStart := time.Now()
-	view, err := timed(root, "build_view", func() (*core.TraceView[traceio.FlatContext, string], error) {
+	view, err := timed(ctx, root, "build_view", func() (*core.TraceView[traceio.FlatContext, string], error) {
 		return core.NewTraceViewKeyedCtx(ctx, trace, traceio.FlatContext.Key)
 	})
 	if err != nil {
@@ -720,7 +804,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	recordTraceSummary(view, time.Since(buildStart))
-	diag, err := timed(root, "diagnose", func() (core.Diagnostics, error) {
+	diag, err := timed(ctx, root, "diagnose", func() (core.Diagnostics, error) {
 		return core.DiagnoseViewCtx(ctx, view, policy)
 	})
 	if err != nil {
@@ -733,37 +817,42 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Export the request's overlap regime — the continuously watched
-	// version of the diagnostics this response returns once.
+	// version of the diagnostics this response returns once — and stamp
+	// the same numbers onto the request's wide event.
 	evalESSRatio.Observe(diag.ESS / float64(diag.N))
 	evalMaxWeight.Observe(diag.MaxWeight)
 	evalZeroSupport.Observe(float64(diag.ZeroSupport))
+	evb.SetRegime(diag.ESS/float64(diag.N), diag.MaxWeight, diag.ZeroSupport)
+	if health != nil {
+		evb.SetBiasGrade(health.Grade)
+	}
 	if srvLog.Enabled(obs.LevelDebug) {
 		srvLog.Debug("evaluate diagnostics", "id", requestID(r),
 			"n", diag.N, "essRatio", diag.ESS/float64(diag.N),
 			"maxWeight", diag.MaxWeight, "zeroSupport", diag.ZeroSupport)
 	}
-	model, err := timed(root, "fit_model", func() (*core.ViewTableModel[traceio.FlatContext, string], error) {
+	model, err := timed(ctx, root, "fit_model", func() (*core.ViewTableModel[traceio.FlatContext, string], error) {
 		return core.FitTableViewCtx(ctx, view)
 	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
-	dm, err := timed(root, "direct_method", func() (core.Estimate, error) {
+	dm, err := timed(ctx, root, "direct_method", func() (core.Estimate, error) {
 		return core.DirectMethodViewCtx(ctx, view, policy, model)
 	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
-	ips, err := timed(root, "ips", func() (core.Estimate, error) {
+	ips, err := timed(ctx, root, "ips", func() (core.Estimate, error) {
 		return core.IPSViewCtx(ctx, view, policy, core.IPSOptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
-	dr, err := timed(root, "doubly_robust", func() (core.Estimate, error) {
+	dr, err := timed(ctx, root, "doubly_robust", func() (core.Estimate, error) {
 		return core.DoublyRobustViewCtx(ctx, view, policy, model, core.DROptions{Clip: req.Options.Clip, SelfNormalize: req.Options.SelfNormalize})
 	})
 	if err != nil {
@@ -782,6 +871,9 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if degradeOnDrift && health != nil && health.Alarms > 0 {
 		reasons = append(reasons, resilience.DriftReason(health.Alarms, biasDriftThreshold))
 	}
+	// Optional SLO escalation (-degrade-on-slo-page): a page-severity
+	// budget burn tags every response until it clears.
+	reasons = append(reasons, sloDegradeReasons()...)
 	if len(reasons) > 0 {
 		// The degraded path is an error from the observability side even
 		// though the response is a 200: mark the request's root span so
@@ -789,7 +881,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		// surface it.
 		root.Attr("degraded", "true")
 		root.SetError("degraded: overlap diagnostics crossed thresholds")
-		fb, err := timed(root, "fallback", func() (core.Estimate, error) {
+		fb, err := timed(ctx, root, "fallback", func() (core.Estimate, error) {
 			return core.IPSViewCtx(ctx, view, policy, core.IPSOptions{Clip: fallbackClip, SelfNormalize: true})
 		})
 		if err != nil {
@@ -798,7 +890,10 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Degraded = true
 		resp.DegradedReasons = reasons
-		resp.Fallback = &fallbackJSON{Estimator: "snips-clip", Estimate: toJSON(fb)}
+		resp.FallbackEstimator = "snips-clip"
+		resp.Fallback = &fallbackJSON{Estimator: resp.FallbackEstimator, Estimate: toJSON(fb)}
+		evb.SetDegraded(reasonCodes(reasons))
+		evb.SetFallback(resp.FallbackEstimator)
 		degradedTotal.Inc()
 		srvLog.Warn("degraded response", "id", requestID(r), "reasons", len(reasons))
 	}
@@ -810,6 +905,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		// Sharded bootstrap: resamples run on the worker pool, one PCG
 		// stream per resample, so the interval depends only on the seed.
 		ci, stats, err := func() (core.Interval, core.BootstrapStats, error) {
+			defer evb.Phase("drevald_bootstrap")()
 			sp := root.StartChild("drevald_bootstrap").
 				Attr("resamples", fmt.Sprint(b))
 			defer sp.End()
@@ -826,6 +922,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}()
 		bootResamples.Add(uint64(stats.Resamples))
 		bootSkipped.Add(uint64(stats.Skipped))
+		evb.SetBootstrap(stats.Resamples, stats.Skipped)
 		if err != nil {
 			writeEvalError(w, err)
 			return

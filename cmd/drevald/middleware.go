@@ -12,6 +12,7 @@ import (
 
 	"drnet/internal/obs"
 	"drnet/internal/resilience"
+	"drnet/internal/wideevent"
 )
 
 // srvLog is the service's structured logger. Access logs and handler
@@ -182,6 +183,19 @@ func instrument(route string, h http.HandlerFunc) http.Handler {
 				}
 				span.End()
 			}()
+			// The same routes emit exactly one wide event per request:
+			// the middleware owns begin and finish, handlers only
+			// annotate through the request context, and the deferred
+			// Finish commits even when the handler panics (the recovery
+			// below has already rewritten the status to 500 by then).
+			evb := eventJournal.Begin(id, route)
+			r = r.WithContext(wideevent.ContextWith(r.Context(), evb))
+			defer func() {
+				if rec.status >= 400 {
+					evb.SetError(fmt.Sprintf("status %d", rec.status))
+				}
+				evb.Finish(rec.status)
+			}()
 		}
 
 		inFlight.Inc()
@@ -283,6 +297,7 @@ func handleVars(w http.ResponseWriter, _ *http.Request) {
 		"uptimeSeconds": time.Since(serverStart).Seconds(),
 		"goroutines":    runtime.NumGoroutine(),
 		"workers":       runtime.GOMAXPROCS(0),
+		"events":        eventJournal.Stats(),
 		"metrics":       obs.Default.Snapshot(),
 	})
 }
@@ -311,5 +326,7 @@ func newDebugMux() *http.ServeMux {
 	mux.HandleFunc("GET /debug/vars", handleVars)
 	mux.HandleFunc("GET /debug/traces", handleTraces)
 	mux.HandleFunc("GET /debug/bias", handleBias)
+	mux.HandleFunc("GET /debug/events", handleEvents)
+	mux.HandleFunc("GET /debug/slo", handleSLO)
 	return mux
 }

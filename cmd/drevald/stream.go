@@ -16,6 +16,7 @@ import (
 	"drnet/internal/resilience"
 	"drnet/internal/traceio"
 	"drnet/internal/walog"
+	"drnet/internal/wideevent"
 )
 
 // Streaming ingestion: with -wal-dir set, drevald accepts record
@@ -480,7 +481,7 @@ func handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	root := obs.SpanFromContext(r.Context())
-	res, err := timed(root, "durable_ingest", func() (ingestResult, error) {
+	res, err := timed(r.Context(), root, "durable_ingest", func() (ingestResult, error) {
 		return eng.ingest(req.Records, trace)
 	})
 	if err != nil {
@@ -495,6 +496,7 @@ func handleIngest(w http.ResponseWriter, r *http.Request) {
 	if srvLog.Enabled(obs.LevelDebug) {
 		srvLog.Debug("ingest", "id", requestID(r), "acked", res.acked, "seq", res.seq, "epoch", res.epoch)
 	}
+	wideevent.FromContext(r.Context()).SetWALAck(res.seq, res.epoch, res.segment, res.durable)
 	writeJSON(w, ingestResponse{
 		Acked:   res.acked,
 		Seq:     res.seq,
@@ -538,7 +540,7 @@ func handleStreamEvaluate(w http.ResponseWriter, r *http.Request, req *evalReque
 		return
 	}
 	root := obs.SpanFromContext(r.Context())
-	sr, err := timed(root, "stream_evaluate", func() (streamResult, error) {
+	sr, err := timed(r.Context(), root, "stream_evaluate", func() (streamResult, error) {
 		return eng.evaluate(req.Policy, req.Options.Clip, req.Options.RefreshModel)
 	})
 	if err != nil {
@@ -552,6 +554,9 @@ func handleStreamEvaluate(w http.ResponseWriter, r *http.Request, req *evalReque
 	}
 	diag := est.Diagnostics
 	staleness := sr.epoch - sr.modelEpoch
+	evb := wideevent.FromContext(r.Context())
+	evb.SetPolicy(req.Policy)
+	evb.SetStream(sr.epoch, sr.modelEpoch, staleness)
 	resp := evalResponse{
 		DM:          toJSON(est.DM),
 		IPS:         toJSON(ips),
@@ -567,10 +572,12 @@ func handleStreamEvaluate(w http.ResponseWriter, r *http.Request, req *evalReque
 	evalESSRatio.Observe(diag.ESS / float64(diag.N))
 	evalMaxWeight.Observe(diag.MaxWeight)
 	evalZeroSupport.Observe(float64(diag.ZeroSupport))
+	evb.SetRegime(diag.ESS/float64(diag.N), diag.MaxWeight, diag.ZeroSupport)
 	reasons := degradeThresholds.Check(diag.N, diag.ESS, diag.MaxWeight, diag.ZeroSupport)
 	if age := uint64(staleness); streamEng.cfg.MaxModelAge > 0 && age > streamEng.cfg.MaxModelAge {
 		reasons = append(reasons, resilience.StaleAggregatesReason(age, streamEng.cfg.MaxModelAge))
 	}
+	reasons = append(reasons, sloDegradeReasons()...)
 	if len(reasons) > 0 {
 		root.Attr("degraded", "true")
 		root.SetError("degraded: stream diagnostics crossed thresholds")
@@ -578,7 +585,10 @@ func handleStreamEvaluate(w http.ResponseWriter, r *http.Request, req *evalReque
 		// needs no reward model and so cannot go stale.
 		resp.Degraded = true
 		resp.DegradedReasons = reasons
-		resp.Fallback = &fallbackJSON{Estimator: "snips-stream", Estimate: toJSON(est.SNIPS)}
+		resp.FallbackEstimator = "snips-stream"
+		resp.Fallback = &fallbackJSON{Estimator: resp.FallbackEstimator, Estimate: toJSON(est.SNIPS)}
+		evb.SetDegraded(reasonCodes(reasons))
+		evb.SetFallback(resp.FallbackEstimator)
 		degradedTotal.Inc()
 		srvLog.Warn("degraded stream response", "id", requestID(r), "reasons", len(reasons))
 	}
@@ -595,13 +605,16 @@ func handleStreamDiagnose(w http.ResponseWriter, r *http.Request, req *evalReque
 		return
 	}
 	root := obs.SpanFromContext(r.Context())
-	sr, err := timed(root, "stream_diagnose", func() (streamResult, error) {
+	sr, err := timed(r.Context(), root, "stream_diagnose", func() (streamResult, error) {
 		return eng.evaluate(req.Policy, req.Options.Clip, req.Options.RefreshModel)
 	})
 	if err != nil {
 		writeEvalError(w, err)
 		return
 	}
+	evb := wideevent.FromContext(r.Context())
+	evb.SetPolicy(req.Policy)
+	evb.SetStream(sr.epoch, sr.modelEpoch, sr.epoch-sr.modelEpoch)
 	writeJSON(w, diagnoseResponse{
 		diagnosticsJSON: diagJSON(sr.est.Diagnostics),
 		Stream: &streamMetaJSON{

@@ -39,6 +39,8 @@ import (
 	"drnet/internal/experiments"
 	"drnet/internal/obs"
 	"drnet/internal/parallel"
+	"drnet/internal/slo"
+	"drnet/internal/wideevent"
 )
 
 type runner func(runs int, seed int64) (experiments.Result, error)
@@ -98,6 +100,11 @@ type manifestEntry struct {
 	// zero-support), for experiments that compute one — so a results
 	// table can be audited for trace pathologies after the fact.
 	TraceHealth *biasobs.HealthSummary `json:"traceHealth,omitempty"`
+	// Event is the experiment's wide event — the same flat canonical
+	// record drevald emits per request, with the experiment id as the
+	// request id — so manifest tooling and the serving stack share one
+	// event vocabulary.
+	Event *wideevent.Event `json:"event,omitempty"`
 }
 
 // memWatch measures one experiment's memory footprint: MemStats deltas
@@ -156,6 +163,11 @@ type runManifest struct {
 	StartedAt   time.Time       `json:"startedAt"`
 	WallSeconds float64         `json:"wallSeconds"`
 	Experiments []manifestEntry `json:"experiments"`
+	// SLO is the run's compliance against the default objectives,
+	// computed over the per-experiment wide events (drift-free grades
+	// from the trace-health summaries in particular) — out-of-scope
+	// objectives report total 0 / met true.
+	SLO []slo.Compliance `json:"slo,omitempty"`
 }
 
 func writeManifest(path string, m *runManifest) error {
@@ -290,6 +302,7 @@ func runAll(ctx context.Context, w io.Writer, which string, runs int, seed int64
 	wg.Wait()
 	m.WallSeconds = time.Since(start).Seconds()
 	skipped := 0
+	var events []*wideevent.Event
 	for i, out := range results {
 		if out.skipped {
 			skipped++
@@ -298,15 +311,28 @@ func runAll(ctx context.Context, w io.Writer, which string, runs int, seed int64
 		if out.err != nil {
 			return nil, fmt.Errorf("%s: %w", jobs[i].id, out.err)
 		}
+		ev := &wideevent.Event{
+			Time:       m.StartedAt,
+			RequestID:  jobs[i].id,
+			Route:      "experiment",
+			Status:     200,
+			DurationMs: out.seconds * 1000,
+		}
+		if out.res.Health != nil {
+			ev.BiasGrade = out.res.Health.Grade
+		}
+		events = append(events, ev)
 		m.Experiments = append(m.Experiments, manifestEntry{
 			ID: jobs[i].id, WallSeconds: out.seconds,
 			PeakHeapBytes: out.peakHeap, GCCycles: out.gcCycles, Allocs: out.allocs,
 			TraceHealth: out.res.Health,
+			Event:       ev,
 		})
 		fmt.Fprintln(w, out.res.Render())
 	}
 	if skipped > 0 {
 		return nil, fmt.Errorf("interrupted: %d of %d experiments skipped: %w", skipped, len(jobs), ctx.Err())
 	}
+	m.SLO = slo.Summarize(slo.DefaultConfig().Objectives, events)
 	return m, nil
 }

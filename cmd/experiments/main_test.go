@@ -130,12 +130,36 @@ func TestManifestCarriesTraceHealth(t *testing.T) {
 	if th == nil || th.Grade == "" || th.Windows == 0 {
 		t.Fatalf("manifest traceHealth = %+v", th)
 	}
+	// The wide event mirrors the entry and shares the trace-health
+	// grade, and the run-level SLO rollup classifies it.
+	ev := m.Experiments[0].Event
+	if ev == nil || ev.RequestID != "F7b" || ev.Route != "experiment" || ev.Status != 200 {
+		t.Fatalf("manifest event = %+v", ev)
+	}
+	if ev.BiasGrade != th.Grade || ev.DurationMs <= 0 {
+		t.Fatalf("manifest event fields = %+v", ev)
+	}
+	drift := false
+	for _, c := range m.SLO {
+		if c.Name == "drift-free" {
+			drift = true
+			if c.Total != 1 {
+				t.Fatalf("drift-free compliance = %+v, want the experiment in scope", c)
+			}
+		}
+	}
+	if !drift {
+		t.Fatalf("manifest SLO rollup missing drift-free objective: %+v", m.SLO)
+	}
 	b, err := json.Marshal(m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Contains(b, []byte(`"traceHealth"`)) || !bytes.Contains(b, []byte(`"grade"`)) {
 		t.Fatalf("serialized manifest missing traceHealth block:\n%s", b)
+	}
+	if !bytes.Contains(b, []byte(`"slo"`)) || !bytes.Contains(b, []byte(`"event"`)) {
+		t.Fatalf("serialized manifest missing slo/event blocks:\n%s", b)
 	}
 }
 

@@ -53,7 +53,7 @@ func DefaultConfig() Config {
 	return Config{
 		Sizes:              []int{1000, 10000, 50000},
 		Workers:            []int{1, 2, 8},
-		Estimators:         []string{"dm", "ips", "dr", "bootstrap", "dm_slice", "ips_slice", "dr_slice", "bootstrap_slice"},
+		Estimators:         []string{"dm", "ips", "dr", "bootstrap", "dm_slice", "ips_slice", "dr_slice", "bootstrap_slice", "dr_events_on", "dr_events_off"},
 		Iters:              20,
 		BootstrapResamples: 100,
 		Seed:               1,
@@ -67,7 +67,7 @@ func QuickConfig() Config {
 	return Config{
 		Sizes:              []int{500, 2000, 8000},
 		Workers:            []int{1, 2},
-		Estimators:         []string{"dm", "ips", "dr", "bootstrap", "dm_slice", "ips_slice", "dr_slice", "bootstrap_slice"},
+		Estimators:         []string{"dm", "ips", "dr", "bootstrap", "dm_slice", "ips_slice", "dr_slice", "bootstrap_slice", "dr_events_on", "dr_events_off"},
 		Iters:              10,
 		BootstrapResamples: 20,
 		Seed:               1,
@@ -91,7 +91,7 @@ func (c Config) Validate() error {
 	}
 	for _, e := range c.Estimators {
 		if _, ok := workloads[e]; !ok {
-			return fmt.Errorf("benchkit: unknown estimator %q (want dm, ips, dr, bootstrap or a _slice variant)", e)
+			return fmt.Errorf("benchkit: unknown estimator %q (want dm, ips, dr, bootstrap, a _slice variant, or dr_events_on/off)", e)
 		}
 	}
 	if c.Iters < 1 {

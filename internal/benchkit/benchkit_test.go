@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"drnet/internal/slo"
 	"drnet/internal/traceio"
 )
 
@@ -270,6 +271,10 @@ func TestRunHTTPAgainstStubServer(t *testing.T) {
 	if res.OpsPerSec <= 0 || res.P50Ms < 0 || res.P50Ms > res.P99Ms {
 		t.Fatalf("implausible loadgen metrics: %+v", res)
 	}
+	avail := complianceByName(res.SLO, "availability")
+	if avail == nil || avail.Total != 8 || avail.Good != 8 || !avail.Met {
+		t.Fatalf("availability compliance = %+v", avail)
+	}
 
 	// A failing server is counted, not fatal.
 	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
@@ -283,9 +288,44 @@ func TestRunHTTPAgainstStubServer(t *testing.T) {
 	if res.Errors != 3 || res.StatusCount["500"] != 3 {
 		t.Fatalf("error census = %+v", res)
 	}
+	if avail := complianceByName(res.SLO, "availability"); avail == nil || avail.Good != 0 || avail.Met {
+		t.Fatalf("availability compliance of all-500 run = %+v", avail)
+	}
 
 	if _, err := RunHTTP(HTTPConfig{}); err == nil {
 		t.Fatal("empty config accepted")
+	}
+}
+
+func complianceByName(cs []slo.Compliance, name string) *slo.Compliance {
+	for i := range cs {
+		if cs[i].Name == name {
+			return &cs[i]
+		}
+	}
+	return nil
+}
+
+// TestEventsOverheadCells checks the dr_events_on/off pair runs and
+// that the on-cell really commits an event per iteration (the off
+// cell's nil journal commits none, by construction).
+func TestEventsOverheadCells(t *testing.T) {
+	rep, err := Run(Config{
+		Sizes:              []int{200},
+		Workers:            []int{1},
+		Estimators:         []string{"dr_events_on", "dr_events_off"},
+		Iters:              3,
+		BootstrapResamples: 5,
+		Seed:               1,
+	}, "test", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"dr_events_on/n=200/w=1", "dr_events_off/n=200/w=1"} {
+		cell := rep.FindCell(key)
+		if cell == nil || cell.OpsPerSec <= 0 {
+			t.Fatalf("cell %s missing or unmeasured: %+v", key, cell)
+		}
 	}
 }
 

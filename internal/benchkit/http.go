@@ -9,6 +9,9 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"drnet/internal/slo"
+	"drnet/internal/wideevent"
 )
 
 // HTTPConfig describes the loadgen leg: POST /evaluate requests against
@@ -45,6 +48,12 @@ type HTTPResult struct {
 	P95Ms       float64        `json:"p95Ms"`
 	P99Ms       float64        `json:"p99Ms"`
 	StatusCount map[string]int `json:"statusCount"`
+	// SLO is the run's lifetime compliance against the default serving
+	// objectives, computed from the client-observed (status, latency)
+	// pairs — the loadgen answers "would this run have met the SLOs",
+	// not just "how fast was it". Objectives with no event in scope
+	// (staleness, drift) report total 0 / met true.
+	SLO []slo.Compliance `json:"slo,omitempty"`
 }
 
 // RunHTTP drives cfg.Requests POST /evaluate calls against a live
@@ -85,6 +94,10 @@ func RunHTTP(cfg HTTPConfig) (*HTTPResult, error) {
 		lat      []float64
 		statuses = map[string]int{}
 		errs     int
+		// observed mirrors each request as a minimal wide event so the
+		// run's SLO compliance comes from the same classification rules
+		// the server applies. Transport failures count as 599.
+		observed []*wideevent.Event
 	)
 	work := make(chan struct{}, cfg.Requests)
 	for i := 0; i < cfg.Requests; i++ {
@@ -106,8 +119,10 @@ func RunHTTP(cfg HTTPConfig) (*HTTPResult, error) {
 				if err != nil {
 					errs++
 					statuses["transport-error"]++
+					observed = append(observed, &wideevent.Event{Route: "/evaluate", Status: 599, DurationMs: d * 1000})
 				} else {
 					statuses[fmt.Sprint(resp.StatusCode)]++
+					observed = append(observed, &wideevent.Event{Route: "/evaluate", Status: resp.StatusCode, DurationMs: d * 1000})
 					if resp.StatusCode == http.StatusOK {
 						lat = append(lat, d)
 					} else {
@@ -133,6 +148,7 @@ func RunHTTP(cfg HTTPConfig) (*HTTPResult, error) {
 		P95Ms:       Percentile(lat, 0.95) * 1000,
 		P99Ms:       Percentile(lat, 0.99) * 1000,
 		StatusCount: statuses,
+		SLO:         slo.Summarize(slo.DefaultConfig().Objectives, observed),
 	}
 	if wall > 0 {
 		res.OpsPerSec = float64(cfg.Requests-errs) / wall

@@ -5,6 +5,7 @@ import (
 
 	"drnet/internal/core"
 	"drnet/internal/traceio"
+	"drnet/internal/wideevent"
 )
 
 // decisions is the synthetic workload's action space.
@@ -111,6 +112,31 @@ func newWorkloadData(size int, seed int64) *workloadData {
 // record-slice implementations so every report carries the
 // columnar-vs-slice comparison (the equivalence suite in internal/core
 // proves both compute bit-identical results).
+// drEventsCell is one DR operation wrapped in the same wide-event
+// choreography drevald performs per request. A nil journal yields a
+// nil builder whose methods no-op — the measured baseline for the
+// events_on/events_off overhead comparison.
+func drEventsCell(w *workloadData, j *wideevent.Journal) func() error {
+	return func() error {
+		evb := j.Begin("bench", "/evaluate")
+		evb.SetPolicy("best-observed")
+		endFit := evb.Phase("fit_model")
+		model := core.FitTableView(w.view)
+		endFit()
+		endDR := evb.Phase("dr")
+		_, err := core.DoublyRobustView(w.view, w.policy, model, core.DROptions{})
+		endDR()
+		if err != nil {
+			evb.SetError(err.Error())
+			evb.Finish(500)
+			return err
+		}
+		evb.SetRegime(0.5, 2, 0)
+		evb.Finish(200)
+		return nil
+	}
+}
+
 var workloads = map[string]func(*workloadData, Config) func() error{
 	"dm": func(w *workloadData, _ Config) func() error {
 		return func() error {
@@ -138,6 +164,19 @@ var workloads = map[string]func(*workloadData, Config) func() error{
 				cfg.Seed, cfg.BootstrapResamples, 0.95)
 			return err
 		}
+	},
+	// The events cells price the wide-event journal on the request hot
+	// path: dr_events_on runs DR through a live journal (begin,
+	// per-phase timing, regime annotation, finish/commit), dr_events_off
+	// runs the identical instrumentation against a nil journal — the
+	// disabled path drevald takes with journalling off. The pair is the
+	// bench-guard evidence that one event per request stays in budget.
+	"dr_events_on": func(w *workloadData, cfg Config) func() error {
+		j := wideevent.NewJournal(wideevent.Options{Capacity: 1024, SampleRate: 1, Seed: uint64(cfg.Seed)})
+		return drEventsCell(w, j)
+	},
+	"dr_events_off": func(w *workloadData, _ Config) func() error {
+		return drEventsCell(w, nil)
 	},
 	"dm_slice": func(w *workloadData, _ Config) func() error {
 		return func() error {

@@ -54,6 +54,21 @@ const (
 	GradeDrift   = "drift"
 )
 
+// GradeRank maps a grade onto its severity scale (0 healthy, 1 watch,
+// 2 drift) — the ordering shared by the drevald_bias_last_grade gauge
+// and the SLO engine's drift-free classification. Unknown strings rank
+// healthy, matching the gauge's historical behaviour.
+func GradeRank(grade string) int {
+	switch grade {
+	case GradeWatch:
+		return 1
+	case GradeDrift:
+		return 2
+	default:
+		return 0
+	}
+}
+
 // Watch thresholds: a window below lowESSRatio or above
 // highZeroSupport means the estimate leans on a sliver of the data in
 // that stretch of the trace, even if no shift fired.

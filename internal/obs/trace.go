@@ -382,18 +382,13 @@ func SpanFromContext(ctx context.Context) *Span {
 // recorder's lower cumulative count simply pauses the counter until
 // the new recorder's drops catch up.
 func RegisterTraceSinkMetrics(reg *Registry) {
-	reg.Help("obs_trace_sink_dropped_total", "Trace JSONL sink lines dropped because the export queue was full.")
-	dropped := reg.Counter("obs_trace_sink_dropped_total")
-	var last atomic.Uint64
-	reg.RegisterSampler(func() {
-		tr := reg.TraceRecorder()
-		if tr == nil {
-			return
-		}
-		cur := tr.SinkDropped()
-		prev := last.Swap(cur)
-		if cur > prev {
-			dropped.Add(cur - prev)
-		}
-	})
+	RegisterLossCounter(reg, "obs_trace_sink_dropped_total",
+		"Trace JSONL sink lines dropped because the export queue was full.",
+		func() (uint64, bool) {
+			tr := reg.TraceRecorder()
+			if tr == nil {
+				return 0, false
+			}
+			return tr.SinkDropped(), true
+		})
 }

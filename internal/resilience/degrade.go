@@ -10,6 +10,7 @@ const (
 	ReasonZeroSupport = "zero_support_above_cap"
 	ReasonTraceDrift  = "trace_drift"
 	ReasonStaleAggs   = "stale_aggregates"
+	ReasonSLOBurn     = "slo_burn"
 )
 
 // Reason is one triggered degradation threshold: what was observed,
@@ -69,6 +70,19 @@ func StaleAggregatesReason(ageRecords, limit uint64) Reason {
 	return Reason{
 		Code: ReasonStaleAggs, Observed: float64(ageRecords), Threshold: float64(limit),
 		Detail: fmt.Sprintf("%d records ingested since the policy's reward model was frozen, above the %d-record staleness limit; re-register the policy to refit", ageRecords, limit),
+	}
+}
+
+// SLOBurnReason builds the degradation reason for an error budget
+// burning at page severity: the named objective's short and long
+// windows both exceeded the burn threshold, so the service escalates
+// from per-request diagnostics to fleet-level health — new estimates
+// are tagged degraded until the burn clears. Observed is the short
+// window's burn rate; Threshold the window's firing threshold.
+func SLOBurnReason(objective string, burn, threshold float64) Reason {
+	return Reason{
+		Code: ReasonSLOBurn, Observed: burn, Threshold: threshold,
+		Detail: fmt.Sprintf("SLO %q is burning error budget at %.1fx the sustainable rate (page threshold %gx): treat estimates as degraded until the burn clears", objective, burn, threshold),
 	}
 }
 

@@ -1,0 +1,318 @@
+package slo
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"drnet/internal/wideevent"
+)
+
+// State is the alert state machine's position for one objective.
+type State int
+
+const (
+	StateOK State = iota
+	StateWarning
+	StatePage
+)
+
+func (s State) String() string {
+	switch s {
+	case StateWarning:
+		return "warning"
+	case StatePage:
+		return "page"
+	default:
+		return "ok"
+	}
+}
+
+// ParseStateName maps a state's String() form back to the State — the
+// inverse used by gauges that encode alert states numerically.
+func ParseStateName(s string) (State, error) {
+	if s == "ok" {
+		return StateOK, nil
+	}
+	return parseState(s)
+}
+
+func parseState(s string) (State, error) {
+	switch s {
+	case "warning":
+		return StateWarning, nil
+	case "page":
+		return StatePage, nil
+	default:
+		return StateOK, fmt.Errorf("unknown severity %q (want warning or page)", s)
+	}
+}
+
+// Transition is one state change, delivered to the hook — the
+// escalation surface drevald's -degrade-on-slo-page wires into the
+// degradation machinery.
+type Transition struct {
+	Objective string
+	From, To  State
+	// Window, Burn and Threshold identify the rule that fired (the
+	// worst firing window), zero-valued on recovery to ok.
+	Window    string
+	Burn      float64
+	Threshold float64
+}
+
+// bucket is one time slot of commutative counts. idx is the absolute
+// bucket index (unix seconds / bucketSeconds); a slot whose idx is
+// stale belongs to a previous lap of the ring and reads as zero.
+type bucket struct {
+	idx         int64
+	good, total uint64
+}
+
+// objectiveState is one objective's counters: a bucket ring covering
+// the longest configured window, plus lifetime totals and the alert
+// state.
+type objectiveState struct {
+	obj         Objective
+	buckets     []bucket
+	good, total uint64
+	state       State
+	since       time.Time
+}
+
+// Engine evaluates a Config over the wide-event stream. Observe is
+// called synchronously from the journal for every emitted event
+// (retained or sampled out — the SLO must see the unsampled stream);
+// Eval computes burn rates and advances the state machine. All time
+// flows through the injectable clock, and all aggregation is
+// order-independent counting, so reports are byte-deterministic under
+// a fixed clock at any worker count.
+type Engine struct {
+	cfg Config
+	now func() time.Time
+
+	mu   sync.Mutex
+	objs []*objectiveState
+	hook func(Transition)
+}
+
+// New builds an engine for cfg (validated and defaulted). now is the
+// clock; nil means time.Now.
+func New(cfg Config, now func() time.Time) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if now == nil {
+		now = time.Now
+	}
+	var longest float64
+	for _, w := range cfg.Windows {
+		if w.LongSeconds > longest {
+			longest = w.LongSeconds
+		}
+	}
+	// One spare bucket so the partially-filled current bucket never
+	// evicts the oldest one still inside the longest window.
+	n := int(math.Ceil(longest/float64(cfg.BucketSeconds))) + 1
+	e := &Engine{cfg: cfg, now: now}
+	for _, o := range cfg.Objectives {
+		e.objs = append(e.objs, &objectiveState{obj: o, buckets: make([]bucket, n)})
+	}
+	return e, nil
+}
+
+// Config returns the engine's validated configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// SetHook registers the transition callback, invoked from Eval after
+// the lock is released (so hooks may call back into the engine).
+func (e *Engine) SetHook(fn func(Transition)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hook = fn
+}
+
+// Observe folds one wide event into every in-scope objective's
+// current bucket. Nil-safe so a disabled engine costs one check.
+func (e *Engine) Observe(ev *wideevent.Event) {
+	if e == nil || ev == nil {
+		return
+	}
+	idx := e.now().Unix() / int64(e.cfg.BucketSeconds)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.objs {
+		inScope, good := st.obj.Classify(ev)
+		if !inScope {
+			continue
+		}
+		b := &st.buckets[int(idx%int64(len(st.buckets)))]
+		if b.idx != idx {
+			*b = bucket{idx: idx}
+		}
+		b.total++
+		st.total++
+		if good {
+			b.good++
+			st.good++
+		}
+	}
+}
+
+// windowCounts sums the buckets inside the trailing window of the
+// given length ending at nowIdx.
+func (st *objectiveState) windowCounts(nowIdx int64, seconds float64, bucketSeconds int) (good, total uint64) {
+	span := int64(math.Ceil(seconds / float64(bucketSeconds)))
+	lo := nowIdx - span + 1
+	for i := range st.buckets {
+		b := st.buckets[i]
+		if b.idx >= lo && b.idx <= nowIdx && b.total > 0 {
+			good += b.good
+			total += b.total
+		}
+	}
+	return good, total
+}
+
+// burnRate is badFraction / (1 − target): 1 spends the budget exactly
+// at the sustainable pace. An empty window burns 0 (no evidence is
+// not bad evidence); a target of 1 has no budget, so any bad event
+// burns at the clamp.
+func burnRate(good, total uint64, target float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	badFrac := float64(total-good) / float64(total)
+	budget := 1 - target
+	if budget < 1e-9 {
+		budget = 1e-9 // keep the rate finite (and JSON-encodable)
+	}
+	return badFrac / budget
+}
+
+// WindowStatus is one burn-rate rule's current reading.
+type WindowStatus struct {
+	Window        string  `json:"window"`
+	Severity      string  `json:"severity"`
+	BurnThreshold float64 `json:"burnThreshold"`
+	ShortBurn     float64 `json:"shortBurn"`
+	LongBurn      float64 `json:"longBurn"`
+	Firing        bool    `json:"firing"`
+}
+
+// ObjectiveStatus is one objective's /debug/slo block.
+type ObjectiveStatus struct {
+	Name   string  `json:"name"`
+	Kind   Kind    `json:"kind"`
+	Target float64 `json:"target"`
+	State  string  `json:"state"`
+	// Good and Total are lifetime counts of in-scope events.
+	Good  uint64 `json:"good"`
+	Total uint64 `json:"total"`
+	// BudgetRemaining is the unspent error-budget fraction over the
+	// longest window: 1 − longestWindowBurn. Negative means the
+	// window has overspent its budget.
+	BudgetRemaining float64        `json:"budgetRemaining"`
+	Windows         []WindowStatus `json:"windows"`
+}
+
+// Report is the GET /debug/slo body. State is the rollup — the worst
+// objective state — which /healthz surfaces as the slo grade.
+type Report struct {
+	State      string            `json:"state"`
+	Objectives []ObjectiveStatus `json:"objectives"`
+}
+
+// Eval computes every objective's burn rates at the current clock
+// reading, advances the alert state machine, fires the hook for each
+// transition, and returns the report. The state an objective lands in
+// is the worst severity among its firing windows — a pure function of
+// the window counts, so recovery is as deterministic as escalation.
+func (e *Engine) Eval() Report {
+	if e == nil {
+		return Report{State: StateOK.String(), Objectives: []ObjectiveStatus{}}
+	}
+	now := e.now()
+	nowIdx := now.Unix() / int64(e.cfg.BucketSeconds)
+
+	e.mu.Lock()
+	var transitions []Transition
+	hook := e.hook
+	rollup := StateOK
+	rep := Report{Objectives: make([]ObjectiveStatus, 0, len(e.objs))}
+	var longest float64
+	for _, w := range e.cfg.Windows {
+		if w.LongSeconds > longest {
+			longest = w.LongSeconds
+		}
+	}
+	for _, st := range e.objs {
+		os := ObjectiveStatus{
+			Name:    st.obj.Name,
+			Kind:    st.obj.Kind,
+			Target:  st.obj.Target,
+			Good:    st.good,
+			Total:   st.total,
+			Windows: make([]WindowStatus, 0, len(e.cfg.Windows)),
+		}
+		next := StateOK
+		var firedWindow string
+		var firedBurn, firedThreshold float64
+		for _, w := range e.cfg.Windows {
+			sg, stot := st.windowCounts(nowIdx, w.ShortSeconds, e.cfg.BucketSeconds)
+			lg, ltot := st.windowCounts(nowIdx, w.LongSeconds, e.cfg.BucketSeconds)
+			ws := WindowStatus{
+				Window:        w.Name,
+				Severity:      w.Severity,
+				BurnThreshold: w.Burn,
+				ShortBurn:     burnRate(sg, stot, st.obj.Target),
+				LongBurn:      burnRate(lg, ltot, st.obj.Target),
+			}
+			ws.Firing = ws.ShortBurn >= w.Burn && ws.LongBurn >= w.Burn
+			if ws.Firing {
+				sev, _ := parseState(w.Severity)
+				if sev > next {
+					next, firedWindow = sev, w.Name
+					firedBurn, firedThreshold = ws.ShortBurn, w.Burn
+				}
+			}
+			os.Windows = append(os.Windows, ws)
+		}
+		lgood, ltotal := st.windowCounts(nowIdx, longest, e.cfg.BucketSeconds)
+		os.BudgetRemaining = 1 - burnRate(lgood, ltotal, st.obj.Target)
+		if next != st.state {
+			transitions = append(transitions, Transition{
+				Objective: st.obj.Name, From: st.state, To: next,
+				Window: firedWindow, Burn: firedBurn, Threshold: firedThreshold,
+			})
+			st.state = next
+			st.since = now
+		}
+		os.State = st.state.String()
+		if st.state > rollup {
+			rollup = st.state
+		}
+		rep.Objectives = append(rep.Objectives, os)
+	}
+	rep.State = rollup.String()
+	e.mu.Unlock()
+
+	if hook != nil {
+		for _, tr := range transitions {
+			hook(tr)
+		}
+	}
+	return rep
+}
+
+// Handler serves GET /debug/slo: one Eval per request.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(e.Eval())
+	})
+}

@@ -1,0 +1,280 @@
+// Package slo turns the wide-event stream into service-level health:
+// declarative objectives (availability, latency-within-bound,
+// staleness-within-bound, drift-free fraction) evaluated with
+// multi-window burn rates on an injectable clock, and an alert state
+// machine (ok → warning → page) whose transitions can escalate into
+// the serving stack's degradation machinery.
+//
+// The framing follows the multi-window, multi-burn-rate alerting
+// pattern: an objective with target T has an error budget of 1−T; the
+// burn rate of a window is (bad fraction in the window) / (1−T), so a
+// burn rate of 1 spends the budget exactly at the sustainable pace
+// and 14.4 spends a 30-day budget in 2 days. An alert fires only when
+// BOTH a short and a long window burn above the threshold — the short
+// window makes alerts reset quickly once the problem stops, the long
+// one keeps one bad minute from paging. Everything is computed from
+// commutative good/total counts in fixed time buckets, so results are
+// independent of request interleaving — the property that makes the
+// /debug/slo surface byte-deterministic at any worker count under a
+// fixed clock.
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"drnet/internal/biasobs"
+	"drnet/internal/wideevent"
+)
+
+// Kind names an objective's classification rule.
+type Kind string
+
+const (
+	// KindAvailability counts a request good when it did not fail
+	// server-side (status < 500; shed 429s and client errors spend no
+	// budget — the server answered as designed).
+	KindAvailability Kind = "availability"
+	// KindLatency counts a request good when its total duration is
+	// within LatencyMs. A target of 0.99 therefore reads "p99 latency
+	// within the bound".
+	KindLatency Kind = "latency"
+	// KindStaleness counts a streamed answer good when its reward
+	// model was at most StalenessRecords behind the live epoch;
+	// non-streamed requests are out of scope.
+	KindStaleness Kind = "staleness"
+	// KindDriftFree counts a request good when the bias observatory
+	// graded its trace below drift; requests without a grade are out
+	// of scope.
+	KindDriftFree Kind = "driftFree"
+)
+
+// Objective is one declarative SLO.
+type Objective struct {
+	Name string `json:"name"`
+	Kind Kind   `json:"kind"`
+	// Routes scopes the objective; empty means every journalled route.
+	Routes []string `json:"routes,omitempty"`
+	// Target is the good fraction the budget is sized from (0,1];
+	// e.g. 0.999 availability, 0.99 latency-within-bound.
+	Target float64 `json:"target"`
+	// LatencyMs is the KindLatency bound.
+	LatencyMs float64 `json:"latencyMs,omitempty"`
+	// StalenessRecords is the KindStaleness bound.
+	StalenessRecords int `json:"stalenessRecords,omitempty"`
+}
+
+// Validate rejects objectives the engine cannot evaluate.
+func (o Objective) Validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("slo: objective needs a name")
+	}
+	switch o.Kind {
+	case KindAvailability, KindDriftFree:
+	case KindLatency:
+		if o.LatencyMs <= 0 {
+			return fmt.Errorf("slo: %s: latency objective needs latencyMs > 0", o.Name)
+		}
+	case KindStaleness:
+		if o.StalenessRecords < 0 {
+			return fmt.Errorf("slo: %s: stalenessRecords must be >= 0", o.Name)
+		}
+	default:
+		return fmt.Errorf("slo: %s: unknown kind %q (want availability, latency, staleness or driftFree)", o.Name, o.Kind)
+	}
+	if o.Target <= 0 || o.Target > 1 {
+		return fmt.Errorf("slo: %s: target %g must be in (0, 1]", o.Name, o.Target)
+	}
+	return nil
+}
+
+// Classify maps one wide event onto the objective: whether the event
+// is in scope, and if so whether it was good. Pure, so the benchkit
+// and experiments compliance summaries reuse exactly the serving
+// classification.
+func (o Objective) Classify(ev *wideevent.Event) (inScope, good bool) {
+	if ev == nil {
+		return false, false
+	}
+	if len(o.Routes) > 0 {
+		found := false
+		for _, r := range o.Routes {
+			if r == ev.Route {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, false
+		}
+	}
+	switch o.Kind {
+	case KindAvailability:
+		return true, ev.Status < 500
+	case KindLatency:
+		return true, ev.DurationMs <= o.LatencyMs
+	case KindStaleness:
+		if !ev.Streamed {
+			return false, false
+		}
+		return true, ev.StalenessRecords <= o.StalenessRecords
+	case KindDriftFree:
+		if ev.BiasGrade == "" {
+			return false, false
+		}
+		return true, biasobs.GradeRank(ev.BiasGrade) < biasobs.GradeRank(biasobs.GradeDrift)
+	default:
+		return false, false
+	}
+}
+
+// Window is one multi-window burn-rate alerting rule: fire at
+// Severity when both the short and long window burn above Burn.
+type Window struct {
+	Name string `json:"name"`
+	// ShortSeconds and LongSeconds are the paired window lengths.
+	ShortSeconds float64 `json:"shortSeconds"`
+	LongSeconds  float64 `json:"longSeconds"`
+	// Burn is the threshold both windows must exceed.
+	Burn float64 `json:"burn"`
+	// Severity is "warning" or "page".
+	Severity string `json:"severity"`
+}
+
+// Validate rejects windows the engine cannot evaluate.
+func (w Window) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("slo: window needs a name")
+	}
+	if w.ShortSeconds <= 0 || w.LongSeconds <= 0 || w.ShortSeconds > w.LongSeconds {
+		return fmt.Errorf("slo: window %s: need 0 < shortSeconds <= longSeconds", w.Name)
+	}
+	if w.Burn <= 0 {
+		return fmt.Errorf("slo: window %s: burn threshold must be > 0", w.Name)
+	}
+	if _, err := parseState(w.Severity); err != nil {
+		return fmt.Errorf("slo: window %s: %v", w.Name, err)
+	}
+	return nil
+}
+
+// Config is the engine's declarative input (-slo-config).
+type Config struct {
+	Objectives []Objective `json:"objectives"`
+	// Windows default to DefaultWindows when empty.
+	Windows []Window `json:"windows,omitempty"`
+	// BucketSeconds is the count-bucket granularity (default 10).
+	BucketSeconds int `json:"bucketSeconds,omitempty"`
+}
+
+// DefaultWindows are the classic fast/slow burn-rate pairs: page when
+// a 5m/1h pair burns 14.4× (a 3-day budget at that pace is gone in
+// five hours), warn when a 30m/6h pair burns 6×.
+func DefaultWindows() []Window {
+	return []Window{
+		{Name: "fast", ShortSeconds: 300, LongSeconds: 3600, Burn: 14.4, Severity: "page"},
+		{Name: "slow", ShortSeconds: 1800, LongSeconds: 21600, Burn: 6, Severity: "warning"},
+	}
+}
+
+// DefaultConfig is the serving default: availability, /evaluate
+// latency-within-250ms at p99, staleness within 10k records, and a
+// drift-free fraction — the four health axes the tentpole names.
+func DefaultConfig() Config {
+	return Config{
+		Objectives: []Objective{
+			{Name: "availability", Kind: KindAvailability, Target: 0.999},
+			{Name: "evaluate-latency", Kind: KindLatency, Routes: []string{"/evaluate"}, Target: 0.99, LatencyMs: 250},
+			{Name: "staleness", Kind: KindStaleness, Target: 0.99, StalenessRecords: 10000},
+			{Name: "drift-free", Kind: KindDriftFree, Target: 0.95},
+		},
+		Windows:       DefaultWindows(),
+		BucketSeconds: 10,
+	}
+}
+
+// Parse decodes a -slo-config JSON document, fills window/bucket
+// defaults, and validates. Unknown fields are errors so typos in an
+// ops-owned file surface at startup, not as silently-ignored intent.
+func Parse(b []byte) (Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("slo: invalid config: %v", err)
+	}
+	return cfg.withDefaults()
+}
+
+// withDefaults fills the optional parts and validates everything.
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Objectives) == 0 {
+		return Config{}, fmt.Errorf("slo: config needs at least one objective")
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = DefaultWindows()
+	}
+	if c.BucketSeconds == 0 {
+		c.BucketSeconds = 10
+	}
+	if c.BucketSeconds < 1 {
+		return Config{}, fmt.Errorf("slo: bucketSeconds must be >= 1, got %d", c.BucketSeconds)
+	}
+	seen := map[string]bool{}
+	for _, o := range c.Objectives {
+		if err := o.Validate(); err != nil {
+			return Config{}, err
+		}
+		if seen[o.Name] {
+			return Config{}, fmt.Errorf("slo: duplicate objective name %q", o.Name)
+		}
+		seen[o.Name] = true
+	}
+	for _, w := range c.Windows {
+		if err := w.Validate(); err != nil {
+			return Config{}, err
+		}
+	}
+	return c, nil
+}
+
+// Compliance is one objective's lifetime scorecard over a finite
+// event set — the per-run SLO summary benchkit's loadgen leg and the
+// experiments manifest report.
+type Compliance struct {
+	Name   string  `json:"name"`
+	Kind   Kind    `json:"kind"`
+	Target float64 `json:"target"`
+	Good   uint64  `json:"good"`
+	Total  uint64  `json:"total"`
+	// Ratio is good/total; 1 when no event was in scope (an empty
+	// window cannot violate a target).
+	Ratio float64 `json:"ratio"`
+	Met   bool    `json:"met"`
+}
+
+// Summarize classifies events against each objective and reports the
+// lifetime compliance. Pure and order-independent.
+func Summarize(objectives []Objective, events []*wideevent.Event) []Compliance {
+	out := make([]Compliance, 0, len(objectives))
+	for _, o := range objectives {
+		c := Compliance{Name: o.Name, Kind: o.Kind, Target: o.Target, Ratio: 1, Met: true}
+		for _, ev := range events {
+			inScope, good := o.Classify(ev)
+			if !inScope {
+				continue
+			}
+			c.Total++
+			if good {
+				c.Good++
+			}
+		}
+		if c.Total > 0 {
+			c.Ratio = float64(c.Good) / float64(c.Total)
+			c.Met = c.Ratio >= o.Target
+		}
+		out = append(out, c)
+	}
+	return out
+}

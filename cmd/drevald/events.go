@@ -79,7 +79,7 @@ func newSLOEngine(cfg slo.Config) (*slo.Engine, error) {
 // clears (several objectives can page at once).
 var (
 	sloPageMu sync.Mutex
-	sloPages  = map[string]resilience.Reason{}
+	sloPages  = map[string]resilience.Reason{} // guarded by sloPageMu
 )
 
 // sloTransition is the engine hook: log every state change, count it,

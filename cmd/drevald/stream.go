@@ -108,11 +108,11 @@ type streamEngine struct {
 	replayed  atomic.Uint64
 
 	mu            sync.Mutex
-	builder       *core.ViewBuilder[traceio.FlatContext, string]
-	records       core.Trace[traceio.FlatContext, string]
-	evals         map[string]*streamPolicy
-	replayErr     error
-	lastBiasEpoch int
+	builder       *core.ViewBuilder[traceio.FlatContext, string] // guarded by mu
+	records       core.Trace[traceio.FlatContext, string]        // guarded by mu
+	evals         map[string]*streamPolicy                       // guarded by mu
+	replayErr     error                                          // guarded by mu
+	lastBiasEpoch int                                            // guarded by mu
 	biasBusy      atomic.Bool
 }
 

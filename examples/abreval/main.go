@@ -24,6 +24,7 @@ import (
 )
 
 func main() {
+	//lint:allow seedflow pedagogical fixed-seed walkthrough; reproducibility over variation
 	rng := mathx.NewRNG(11)
 	scn := experiments.Figure7bScenario()
 	fmt.Println(scn)

@@ -31,6 +31,7 @@ func main() {
 	truths := map[string]float64{}
 	traces := map[string][]tcp.RoundRecord{}
 	for name, mk := range protos {
+		//lint:allow seedflow pedagogical fixed-seed walkthrough; reproducibility over variation
 		rng := mathx.NewRNG(7)
 		trace, goodput, err := tcp.RunClosedLoop(mk(), link, rounds, rng)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 )
 
 func main() {
+	//lint:allow seedflow pedagogical fixed-seed walkthrough; reproducibility over variation
 	rng := mathx.NewRNG(23)
 	world := cdnsim.DefaultWorld()
 	fmt.Println(world)

@@ -19,6 +19,7 @@ import (
 )
 
 func main() {
+	//lint:allow seedflow pedagogical fixed-seed walkthrough; reproducibility over variation
 	rng := mathx.NewRNG(17)
 	world := cfa.DefaultWorld()
 	must(world.Init(rng))

@@ -17,6 +17,7 @@ import (
 )
 
 func main() {
+	//lint:allow seedflow pedagogical fixed-seed walkthrough; reproducibility over variation
 	rng := mathx.NewRNG(7)
 
 	// The world: clients are scalar contexts x ∈ [0,1]; choosing server

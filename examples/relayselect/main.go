@@ -23,6 +23,7 @@ import (
 )
 
 func main() {
+	//lint:allow seedflow pedagogical fixed-seed walkthrough; reproducibility over variation
 	rng := mathx.NewRNG(31)
 	w := relay.DefaultWorld()
 	world := &w

@@ -18,6 +18,7 @@ import (
 )
 
 func main() {
+	//lint:allow seedflow pedagogical fixed-seed walkthrough; reproducibility over variation
 	rng := mathx.NewRNG(41)
 
 	// World and policies as in the quickstart.

@@ -57,8 +57,40 @@ type Pass struct {
 	Info *types.Info
 	// Path is the package's import path (e.g. drnet/internal/core).
 	Path string
+	// Facts is the package's shared fact store: analyzers attach
+	// interprocedural findings to types.Objects here and may read
+	// facts published by analyzers that ran earlier in the suite.
+	Facts *Facts
 
 	diags *[]Diagnostic
+	cache *passCache
+}
+
+// passCache holds per-package structures shared by every analyzer in
+// the run, built lazily: the call graph and one CFG per function body.
+type passCache struct {
+	cg   *CallGraph
+	cfgs map[*ast.BlockStmt]*CFG
+}
+
+// CallGraph returns the package's call graph, building it on first
+// use and sharing it across analyzers.
+func (p *Pass) CallGraph() *CallGraph {
+	if p.cache.cg == nil {
+		p.cache.cg = BuildCallGraph(p.Files, p.Info)
+	}
+	return p.cache.cg
+}
+
+// FuncCFG returns the CFG of a function (or function literal) body,
+// building and caching it on first use.
+func (p *Pass) FuncCFG(body *ast.BlockStmt) *CFG {
+	if g, ok := p.cache.cfgs[body]; ok {
+		return g
+	}
+	g := BuildCFG(body)
+	p.cache.cfgs[body] = g
+	return g
 }
 
 // Reportf records a finding at pos.
@@ -104,6 +136,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		sup, supDiags := collectSuppressions(pkg)
 		diags = append(diags, supDiags...)
 		var raw []Diagnostic
+		facts := NewFacts()
+		cache := &passCache{cfgs: map[*ast.BlockStmt]*CFG{}}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -112,7 +146,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Path:     pkg.Path,
+				Facts:    facts,
 				diags:    &raw,
+				cache:    cache,
 			}
 			a.Run(pass)
 		}

@@ -1,0 +1,104 @@
+package analysis
+
+// Baselines freeze a tree's pre-existing findings so a new analyzer
+// can be adopted without a flag-day cleanup: `drevallint
+// -write-baseline lint-baseline.json` records today's findings, and
+// subsequent runs with `-baseline lint-baseline.json` report only
+// findings NOT in the file — new regressions fail the build while the
+// frozen debt stays visible in the baseline for later burn-down.
+//
+// A fingerprint is (module-root-relative file, check, message) with a
+// count — deliberately line-insensitive, so unrelated edits that shift
+// a frozen finding up or down the file do not resurrect it. If a file
+// accumulates an ADDITIONAL identical finding, the count excess is
+// reported.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// Baseline is the serialized form.
+type Baseline struct {
+	Version  int               `json:"version"`
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// BaselineFinding is one frozen fingerprint with its multiplicity.
+type BaselineFinding struct {
+	File    string `json:"file"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+func fingerprint(root string, d Diagnostic) BaselineFinding {
+	return BaselineFinding{File: relURI(root, d.File), Check: d.Check, Message: d.Message}
+}
+
+// WriteBaseline serializes the given diagnostics as a baseline file,
+// deterministically sorted and counted.
+func WriteBaseline(diags []Diagnostic, root string) ([]byte, error) {
+	counts := map[BaselineFinding]int{}
+	for _, d := range diags {
+		counts[fingerprint(root, d)]++
+	}
+	b := Baseline{Version: baselineVersion, Findings: make([]BaselineFinding, 0, len(counts))}
+	for f, n := range counts {
+		f.Count = n
+		b.Findings = append(b.Findings, f)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	out, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseBaseline decodes and validates a baseline file.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline: unsupported version %d (want %d)", b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Filter returns the diagnostics NOT covered by the baseline: each
+// fingerprint absorbs up to its frozen count, in the runner's
+// deterministic order; the excess (new regressions) survives.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	budget := map[BaselineFinding]int{}
+	for _, f := range b.Findings {
+		key := f
+		key.Count = 0
+		budget[key] += f.Count
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := fingerprint(root, d)
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

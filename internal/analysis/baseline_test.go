@@ -1,0 +1,117 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"drnet/internal/analysis"
+)
+
+// TestBaselineRoundTrip is the adoption contract: freezing a tree's
+// findings and immediately filtering against the frozen file must
+// suppress every one of them.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := sampleDiags()
+	data, err := analysis.WriteBaseline(diags, "/repo")
+	if err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := analysis.ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	if left := b.Filter(diags, "/repo"); len(left) != 0 {
+		t.Fatalf("round trip left %d findings: %+v", len(left), left)
+	}
+}
+
+// TestBaselineLineInsensitive: unrelated edits shift frozen findings
+// up and down the file; the fingerprint must not care.
+func TestBaselineLineInsensitive(t *testing.T) {
+	diags := sampleDiags()
+	data, err := analysis.WriteBaseline(diags, "/repo")
+	if err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := analysis.ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	moved := make([]analysis.Diagnostic, len(diags))
+	copy(moved, diags)
+	for i := range moved {
+		moved[i].Line += 100
+		moved[i].Col = 1
+	}
+	if left := b.Filter(moved, "/repo"); len(left) != 0 {
+		t.Fatalf("line shift resurrected %d findings: %+v", len(left), left)
+	}
+}
+
+// TestBaselineExcessCountSurvives: a frozen fingerprint absorbs only
+// its recorded multiplicity — an ADDITIONAL identical finding is a
+// regression and must be reported.
+func TestBaselineExcessCountSurvives(t *testing.T) {
+	d := analysis.Diagnostic{File: "/repo/a.go", Line: 1, Check: "hotalloc", Message: "make allocates in hot path F (//lint:hot)"}
+	data, err := analysis.WriteBaseline([]analysis.Diagnostic{d, d}, "/repo")
+	if err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := analysis.ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	three := []analysis.Diagnostic{d, d, d}
+	left := b.Filter(three, "/repo")
+	if len(left) != 1 {
+		t.Fatalf("count 2 baseline against 3 findings left %d, want 1", len(left))
+	}
+}
+
+// TestBaselineNewFindingSurvives: a finding absent from the baseline
+// passes through untouched.
+func TestBaselineNewFindingSurvives(t *testing.T) {
+	data, err := analysis.WriteBaseline(sampleDiags(), "/repo")
+	if err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	b, err := analysis.ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	fresh := analysis.Diagnostic{File: "/repo/new.go", Line: 7, Check: "seedflow", Message: "NewRNG seed traces to a constant on every path; derive it from a parameter or flag so runs can be varied"}
+	left := b.Filter(append(sampleDiags(), fresh), "/repo")
+	if len(left) != 1 || left[0].File != "/repo/new.go" {
+		t.Fatalf("filter = %+v, want only the fresh seedflow finding", left)
+	}
+}
+
+// TestBaselineDeterministic: the serialized file is byte-stable, so a
+// re-freeze with no underlying change is a no-op diff.
+func TestBaselineDeterministic(t *testing.T) {
+	var first []byte
+	for i := 0; i < 5; i++ {
+		out, err := analysis.WriteBaseline(sampleDiags(), "/repo")
+		if err != nil {
+			t.Fatalf("WriteBaseline: %v", err)
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		if !bytes.Equal(out, first) {
+			t.Fatalf("run %d produced different bytes:\n%s\nvs\n%s", i, out, first)
+		}
+	}
+}
+
+// TestBaselineVersionGuard: an unknown version is a hard error, not a
+// silently-empty baseline that would flood CI with frozen findings.
+func TestBaselineVersionGuard(t *testing.T) {
+	if _, err := analysis.ParseBaseline([]byte(`{"version": 99, "findings": []}`)); err == nil {
+		t.Fatal("version 99 must be rejected")
+	}
+	if _, err := analysis.ParseBaseline([]byte(`not json`)); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}

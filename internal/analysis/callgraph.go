@@ -1,0 +1,185 @@
+package analysis
+
+// Package-level call graphs for the interprocedural analyzers. The
+// graph is built per package from resolved identifier uses (stdlib
+// go/types only): direct calls to package functions and methods become
+// call edges, and a *reference* to a package function outside call
+// position (a method value handed to another API) becomes a reference
+// edge, treated conservatively as a potential call. Calls that resolve
+// into other packages are kept as edges too (the callee just has no
+// Decl), so analyzers can decide how to treat opaque boundaries.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CallSite is one use of a function inside another function's body.
+type CallSite struct {
+	// Call is the invoking expression; nil when the function was only
+	// referenced (method value / function value) rather than called.
+	Call *ast.CallExpr
+	// Ref is the identifier or selector that named the callee.
+	Ref ast.Node
+	// InLoop reports whether the site sits lexically inside a for or
+	// range statement of the enclosing declaration (loops inside nested
+	// function literals count; a literal's body may itself be invoked
+	// per iteration, which lexical nesting approximates).
+	InLoop bool
+}
+
+// Edge is one caller→callee relationship at one site.
+type Edge struct {
+	Caller *types.Func // nil for package-level initializer expressions
+	Callee *types.Func
+	Site   CallSite
+}
+
+// FuncInfo aggregates what the graph knows about one function object.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl // nil when declared in another package
+	Out  []Edge        // calls made by this function's body
+	In   []Edge        // sites where this function is called/referenced
+}
+
+// CallGraph is the package-level call graph.
+type CallGraph struct {
+	funcs map[*types.Func]*FuncInfo
+}
+
+// Lookup returns the node for fn, or nil if fn never appears in the
+// package (neither declared nor referenced).
+func (g *CallGraph) Lookup(fn *types.Func) *FuncInfo {
+	return g.funcs[fn]
+}
+
+// Decls returns the functions declared (with bodies) in the package,
+// sorted by source position for deterministic iteration.
+func (g *CallGraph) Decls() []*FuncInfo {
+	var out []*FuncInfo
+	for _, fi := range g.funcs {
+		if fi.Decl != nil {
+			out = append(out, fi)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// BuildCallGraph constructs the call graph of one loaded package.
+func BuildCallGraph(files []*ast.File, info *types.Info) *CallGraph {
+	g := &CallGraph{funcs: map[*types.Func]*FuncInfo{}}
+	node := func(fn *types.Func) *FuncInfo {
+		fi, ok := g.funcs[fn]
+		if !ok {
+			fi = &FuncInfo{Fn: fn}
+			g.funcs[fn] = fi
+		}
+		return fi
+	}
+	// Register declarations first so Decls is complete even for
+	// functions nobody calls.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok && fn != nil {
+				node(fn).Decl = fd
+			}
+		}
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			caller, _ := info.Defs[fd.Name].(*types.Func)
+			collectSites(fd.Body, info, caller, g, node)
+		}
+	}
+	return g
+}
+
+// collectSites walks one body recording call and reference edges with
+// their lexical loop depth.
+func collectSites(body *ast.BlockStmt, info *types.Info, caller *types.Func, g *CallGraph, node func(*types.Func) *FuncInfo) {
+	// callFuns maps the Fun expression of each call so identifier
+	// visits can tell "named in call position" from "referenced".
+	callFuns := map[ast.Node]*ast.CallExpr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = call
+		}
+		return true
+	})
+	WalkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		var id *ast.Ident
+		var ref ast.Node
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id, ref = n.Sel, n
+		case *ast.Ident:
+			// The Sel of a selector was already handled at the
+			// selector node; visiting it again would double-count.
+			if len(stack) > 0 {
+				if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == n {
+					return true
+				}
+			}
+			id, ref = n, n
+		default:
+			return true
+		}
+		callee, ok := info.Uses[id].(*types.Func)
+		if !ok || callee == nil {
+			return true
+		}
+		inLoop := false
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			}
+		}
+		site := CallSite{Ref: ref, InLoop: inLoop}
+		if call, ok := callFuns[ref]; ok {
+			site.Call = call
+		}
+		e := Edge{Caller: caller, Callee: callee, Site: site}
+		node(callee).In = append(node(callee).In, e)
+		if caller != nil {
+			node(caller).Out = append(node(caller).Out, e)
+		}
+		return true
+	})
+}
+
+// CallersOf returns the in-edges of fn whose callers have bodies in
+// this package, in deterministic source order.
+func (g *CallGraph) CallersOf(fn *types.Func) []Edge {
+	fi := g.funcs[fn]
+	if fi == nil {
+		return nil
+	}
+	out := make([]Edge, 0, len(fi.In))
+	for _, e := range fi.In {
+		if e.Caller != nil && g.funcs[e.Caller] != nil && g.funcs[e.Caller].Decl != nil {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return refPos(out[i]) < refPos(out[j]) })
+	return out
+}
+
+func refPos(e Edge) token.Pos {
+	if e.Site.Ref != nil {
+		return e.Site.Ref.Pos()
+	}
+	return token.NoPos
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// loadSynthetic typechecks one synthetic file and returns what
+// BuildCallGraph needs.
+func loadSynthetic(t *testing.T, src string) ([]*ast.File, *types.Info, *types.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return []*ast.File{f}, info, pkg
+}
+
+// funcByName finds a declared function or method object by name.
+func funcByName(t *testing.T, info *types.Info, name string) *types.Func {
+	t.Helper()
+	for _, obj := range info.Defs {
+		if fn, ok := obj.(*types.Func); ok && fn != nil && fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+const cgSrc = `package p
+
+type T struct{}
+
+func (t *T) m() { helper() }
+
+func helper() {}
+
+func caller() {
+	t := &T{}
+	t.m()
+	for i := 0; i < 3; i++ {
+		helper()
+	}
+	f := t.m
+	f()
+}
+`
+
+func TestCallGraphEdges(t *testing.T) {
+	files, info, _ := loadSynthetic(t, cgSrc)
+	g := BuildCallGraph(files, info)
+
+	if got := len(g.Decls()); got != 3 {
+		t.Fatalf("Decls() = %d, want 3 (m, helper, caller)", got)
+	}
+
+	helper := funcByName(t, info, "helper")
+	hi := g.Lookup(helper)
+	if hi == nil {
+		t.Fatal("helper not in graph")
+	}
+	if len(hi.In) != 2 {
+		t.Fatalf("helper has %d in-edges, want 2 (from m and caller)", len(hi.In))
+	}
+
+	caller := funcByName(t, info, "caller")
+	ci := g.Lookup(caller)
+	if ci == nil {
+		t.Fatal("caller not in graph")
+	}
+	// t.m() call, helper() in loop, t.m method value: 3 edges.
+	if len(ci.Out) != 3 {
+		t.Fatalf("caller has %d out-edges, want 3: %+v", len(ci.Out), ci.Out)
+	}
+}
+
+func TestCallGraphInLoopFlag(t *testing.T) {
+	files, info, _ := loadSynthetic(t, cgSrc)
+	g := BuildCallGraph(files, info)
+	helper := funcByName(t, info, "helper")
+
+	var fromM, fromCaller *Edge
+	for i, e := range g.Lookup(helper).In {
+		switch e.Caller.Name() {
+		case "m":
+			fromM = &g.Lookup(helper).In[i]
+		case "caller":
+			fromCaller = &g.Lookup(helper).In[i]
+		}
+	}
+	if fromM == nil || fromCaller == nil {
+		t.Fatalf("missing expected callers of helper")
+	}
+	if fromM.Site.InLoop {
+		t.Error("helper call from m is not in a loop")
+	}
+	if !fromCaller.Site.InLoop {
+		t.Error("helper call from caller sits in a for loop; InLoop must be true")
+	}
+}
+
+func TestCallGraphMethodValueIsReferenceEdge(t *testing.T) {
+	files, info, _ := loadSynthetic(t, cgSrc)
+	g := BuildCallGraph(files, info)
+	m := funcByName(t, info, "m")
+
+	mi := g.Lookup(m)
+	if mi == nil {
+		t.Fatal("m not in graph")
+	}
+	var calls, refs int
+	for _, e := range mi.In {
+		if e.Site.Call != nil {
+			calls++
+		} else {
+			refs++
+		}
+	}
+	if calls != 1 || refs != 1 {
+		t.Fatalf("m in-edges: %d calls, %d references; want 1 and 1 (t.m() and f := t.m)", calls, refs)
+	}
+}
+
+func TestCallGraphCallersOfDeterministic(t *testing.T) {
+	files, info, _ := loadSynthetic(t, cgSrc)
+	g := BuildCallGraph(files, info)
+	helper := funcByName(t, info, "helper")
+
+	first := g.CallersOf(helper)
+	for i := 0; i < 5; i++ {
+		again := g.CallersOf(helper)
+		if len(again) != len(first) {
+			t.Fatalf("CallersOf length changed: %d vs %d", len(again), len(first))
+		}
+		for j := range again {
+			if again[j].Caller != first[j].Caller || again[j].Site.Ref.Pos() != first[j].Site.Ref.Pos() {
+				t.Fatalf("CallersOf order unstable at %d", j)
+			}
+		}
+	}
+	// Source order: m's call precedes caller's loop call.
+	if first[0].Caller.Name() != "m" || first[1].Caller.Name() != "caller" {
+		t.Fatalf("CallersOf not in source order: %s, %s", first[0].Caller.Name(), first[1].Caller.Name())
+	}
+}
+
+func TestCallGraphCrossPackageCalleeKept(t *testing.T) {
+	src := `package p
+
+import "strings"
+
+func f() string { return strings.ToUpper("x") }
+`
+	files, info, _ := loadSynthetic(t, src)
+	g := BuildCallGraph(files, info)
+	f := funcByName(t, info, "f")
+	fi := g.Lookup(f)
+	if fi == nil || len(fi.Out) != 1 {
+		t.Fatalf("f should have exactly one out-edge to strings.ToUpper")
+	}
+	callee := fi.Out[0].Callee
+	if callee.Pkg() == nil || callee.Pkg().Path() != "strings" {
+		t.Fatalf("callee = %v, want strings.ToUpper", callee)
+	}
+	if ci := g.Lookup(callee); ci == nil || ci.Decl != nil {
+		t.Fatalf("cross-package callee must be present with nil Decl")
+	}
+}

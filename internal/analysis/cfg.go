@@ -1,0 +1,430 @@
+package analysis
+
+// Control-flow graphs for the dataflow analyzers (lockguard, hotalloc,
+// seedflow). BuildCFG lowers one function body into basic blocks with
+// successor edges, precise enough for the path-sensitive questions the
+// repo's invariants ask ("is the mutex held on every path reaching
+// this access?") while staying stdlib-only. Nested function literals
+// are NOT inlined: each FuncLit body is its own analysis unit, because
+// a closure may run on another goroutine where the enclosing frame's
+// lock state means nothing.
+//
+// Soundness caveats (documented in DESIGN.md): goto transfers are
+// modeled as function exits, panics are not modeled as edges, and a
+// deferred call is recorded (CFG.Defers) but executes only at exit —
+// a `defer mu.Unlock()` therefore keeps the mutex held for the rest of
+// the body, which is exactly the repo's locking idiom.
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: a maximal straight-line sequence of
+// statements and control expressions, executed in order, ending in a
+// branch to the successor blocks.
+type Block struct {
+	Index int
+	// Nodes holds the block's statements plus the control expressions
+	// (if/for conditions, switch tags) evaluated in it, in execution
+	// order. Nodes never contains the *bodies* of nested FuncLits.
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block // synthetic: every return and normal fall-off leads here
+	Blocks []*Block
+	// Defers lists the defer statements encountered anywhere in the
+	// body, in source order. Their calls run at Exit, last-in-first-out.
+	Defers []*ast.DeferStmt
+}
+
+// cfgBuilder carries the state of one lowering.
+type cfgBuilder struct {
+	g *CFG
+	// cur is the block new statements append to; nil after a terminator
+	// (return, break) until the next join point.
+	cur *Block
+	// break/continue targets, innermost last, with optional labels.
+	breaks    []branchTarget
+	continues []branchTarget
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// BuildCFG lowers body (a function or function-literal body) into a
+// CFG. A nil body yields a trivial entry→exit graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edgeTo(b.g.Exit)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	bl := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, bl)
+	return bl
+}
+
+// edgeTo links the current block to next (if the current path is
+// live) and makes next current.
+func (b *cfgBuilder) edgeTo(next *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, next)
+	}
+	b.cur = next
+}
+
+// add appends a node to the current block, resurrecting an unreachable
+// block if a terminator just ran (the node is dead code, but analyzers
+// still want to see it).
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the pending label when the
+// statement is the body of a LabeledStmt.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		// then branch
+		thenB := b.newBlock()
+		cond.Succs = append(cond.Succs, thenB)
+		b.cur = thenB
+		b.stmtList(s.Body.List)
+		b.edgeTo(join)
+		// else branch (or fallthrough to join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			cond.Succs = append(cond.Succs, elseB)
+			b.cur = elseB
+			b.stmt(s.Else, "")
+			b.edgeTo(join)
+		} else {
+			cond.Succs = append(cond.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock()
+		exit := b.newBlock()
+		b.edgeTo(head)
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Succs = append(head.Succs, exit) // cond false
+		}
+		// An infinite `for {}` still gets the exit edge from breaks.
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.cur = body
+		b.pushLoop(label, exit, head)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		if s.Post != nil {
+			b.stmt(s.Post, "")
+		}
+		b.edgeTo(head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		exit := b.newBlock()
+		b.add(s.X)
+		b.edgeTo(head)
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s.Key)
+		}
+		if s.Value != nil {
+			head.Nodes = append(head.Nodes, s.Value)
+		}
+		head.Succs = append(head.Succs, exit) // range exhausted
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.cur = body
+		b.pushLoop(label, exit, head)
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edgeTo(head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Assign)
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.SelectStmt:
+		// Each comm clause is an alternative; select with no default
+		// blocks, but every analyzed path goes through some clause.
+		b.switchClauses(s.Body.List, label, nil)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.g.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.add(s)
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if t := findTarget(b.breaks, name); t != nil {
+				b.edgeTo(t)
+			} else {
+				b.edgeTo(b.g.Exit)
+			}
+		case "continue":
+			if t := findTarget(b.continues, name); t != nil {
+				b.edgeTo(t)
+			} else {
+				b.edgeTo(b.g.Exit)
+			}
+		case "goto":
+			// Modeled as leaving the function: no held-state claims
+			// survive a goto (soundness caveat, gotos are banned by
+			// convention in this repo anyway).
+			b.edgeTo(b.g.Exit)
+		case "fallthrough":
+			// Handled structurally in switchClauses; nothing here.
+			return
+		}
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.add(s)
+
+	default:
+		// Assignments, expression statements, go statements, decls,
+		// send statements, inc/dec: straight-line.
+		b.add(s)
+	}
+}
+
+// switchClauses lowers the case list of a switch / type switch /
+// select. Each clause body branches from the dispatch block to a
+// shared join; fallthrough chains a clause into the next one.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, _ *Block) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.newBlock()
+		b.cur = dispatch
+	}
+	join := b.newBlock()
+	b.pushSwitch(label, join)
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	var bodyStmts [][]ast.Stmt
+	for i, c := range clauses {
+		bl := b.newBlock()
+		bodies[i] = bl
+		dispatch.Succs = append(dispatch.Succs, bl)
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				bl.Nodes = append(bl.Nodes, e)
+			}
+			bodyStmts = append(bodyStmts, c.Body)
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				bl.Nodes = append(bl.Nodes, c.Comm)
+			}
+			bodyStmts = append(bodyStmts, c.Body)
+		default:
+			bodyStmts = append(bodyStmts, nil)
+		}
+	}
+	for i, stmts := range bodyStmts {
+		b.cur = bodies[i]
+		ft := false
+		for _, s := range stmts {
+			if br, ok := s.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ft = true
+				continue
+			}
+			b.stmt(s, "")
+		}
+		if ft && i+1 < len(bodies) {
+			b.edgeTo(bodies[i+1])
+		} else {
+			b.edgeTo(join)
+		}
+	}
+	if !hasDefault {
+		// No matching case: control skips the switch entirely.
+		dispatch.Succs = append(dispatch.Succs, join)
+	}
+	b.popSwitch()
+	b.cur = join
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+	b.continues = append(b.continues, branchTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *cfgBuilder) pushSwitch(label string, brk *Block) {
+	b.breaks = append(b.breaks, branchTarget{label: label, block: brk})
+}
+
+func (b *cfgBuilder) popSwitch() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+}
+
+// findTarget resolves a break/continue target: unlabeled takes the
+// innermost, labeled the innermost with that label.
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// Set is the dataflow state the framework's fixpoint driver operates
+// on: a set of opaque string keys (lockguard uses "root.mutex" keys).
+type Set map[string]bool
+
+// Clone copies a Set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect returns a ∩ b.
+func intersect(a, b Set) Set {
+	out := Set{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalSets(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardMust runs a forward "must" dataflow to fixpoint: the state
+// reaching a block is the intersection of the states leaving its seen
+// predecessors (so a fact holds at a point only if it holds on every
+// path there), entry starts at init, and transfer folds a block's
+// nodes left to right. It returns the fixpoint in-state of every
+// block. transfer must be pure with respect to the graph (it may
+// mutate and return its argument).
+func (g *CFG) ForwardMust(init Set, transfer func(state Set, n ast.Node) Set) map[*Block]Set {
+	in := map[*Block]Set{g.Entry: init.Clone()}
+	out := map[*Block]Set{}
+	// Worklist seeded in index order for determinism.
+	work := make([]*Block, 0, len(g.Blocks))
+	work = append(work, g.Entry)
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		bl := work[0]
+		work = work[1:]
+		queued[bl] = false
+		st := in[bl].Clone()
+		for _, n := range bl.Nodes {
+			st = transfer(st, n)
+		}
+		prev, seen := out[bl]
+		if seen && equalSets(prev, st) {
+			continue
+		}
+		out[bl] = st
+		for _, succ := range bl.Succs {
+			next, ok := in[succ]
+			if !ok {
+				next = st.Clone()
+			} else {
+				next = intersect(next, st)
+			}
+			if cur, ok := in[succ]; !ok || !equalSets(cur, next) {
+				in[succ] = next
+				if !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+	// Blocks never reached keep a nil in-state; give them an empty set
+	// so clients can visit dead code without nil checks.
+	for _, bl := range g.Blocks {
+		if in[bl] == nil {
+			in[bl] = Set{}
+		}
+	}
+	return in
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src (a full file), returns the body of the named
+// function.
+func parseBody(t *testing.T, src, fn string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd.Body
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil
+}
+
+// lockTransfer is the test transfer: lock() adds "held", unlock()
+// removes it; deferred calls are ignored (they run at exit).
+func lockTransfer(state Set, n ast.Node) Set {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return state
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "lock":
+				state["held"] = true
+			case "unlock":
+				delete(state, "held")
+			}
+		}
+		return true
+	})
+	return state
+}
+
+// stateAtCall replays the fixpoint and returns the state immediately
+// before the statement calling name.
+func stateAtCall(t *testing.T, g *CFG, name string) Set {
+	t.Helper()
+	ins := g.ForwardMust(Set{}, lockTransfer)
+	for _, bl := range g.Blocks {
+		st := ins[bl].Clone()
+		for _, n := range bl.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.DeferStmt); ok {
+					return false
+				}
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return true
+			})
+			if found {
+				return st
+			}
+			st = lockTransfer(st, n)
+		}
+	}
+	t.Fatalf("no call to %s found in CFG", name)
+	return nil
+}
+
+const cfgPrelude = `package p
+func lock()   {}
+func unlock() {}
+func work()   {}
+func use()    {}
+func after()  {}
+`
+
+func TestCFGBranchJoinIntersects(t *testing.T) {
+	src := cfgPrelude + `
+func f(c bool) {
+	lock()
+	if c {
+		unlock()
+	}
+	use()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	if st := stateAtCall(t, g, "use"); st["held"] {
+		t.Fatalf("held survived a join where one branch unlocked: %v", st)
+	}
+}
+
+func TestCFGBranchBothPathsHold(t *testing.T) {
+	src := cfgPrelude + `
+func f(c bool) {
+	lock()
+	if c {
+		work()
+	} else {
+		work()
+	}
+	use()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	if st := stateAtCall(t, g, "use"); !st["held"] {
+		t.Fatalf("held lost across a join where no branch unlocked: %v", st)
+	}
+}
+
+func TestCFGEarlyReturnDoesNotPoisonJoin(t *testing.T) {
+	src := cfgPrelude + `
+func f(c bool) {
+	lock()
+	if c {
+		unlock()
+		return
+	}
+	use()
+	unlock()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	if st := stateAtCall(t, g, "use"); !st["held"] {
+		t.Fatalf("early unlock+return leaked into the fallthrough path: %v", st)
+	}
+}
+
+func TestCFGLoopBodyAndExit(t *testing.T) {
+	src := cfgPrelude + `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		lock()
+		use()
+		unlock()
+	}
+	after()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	if st := stateAtCall(t, g, "use"); !st["held"] {
+		t.Fatalf("lock acquired earlier in the loop body not visible: %v", st)
+	}
+	if st := stateAtCall(t, g, "after"); st["held"] {
+		t.Fatalf("held escaped the loop that released it every iteration: %v", st)
+	}
+}
+
+func TestCFGDeferredUnlockHoldsToExit(t *testing.T) {
+	src := cfgPrelude + `
+func f() {
+	lock()
+	defer unlock()
+	use()
+}`
+	body := parseBody(t, src, "f")
+	g := BuildCFG(body)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1", len(g.Defers))
+	}
+	if st := stateAtCall(t, g, "use"); !st["held"] {
+		t.Fatalf("deferred unlock cleared the state mid-body: %v", st)
+	}
+}
+
+func TestCFGSwitchAllCasesLock(t *testing.T) {
+	src := cfgPrelude + `
+func f(x int) {
+	switch x {
+	case 1:
+		lock()
+	case 2:
+		lock()
+	default:
+		lock()
+	}
+	use()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	if st := stateAtCall(t, g, "use"); !st["held"] {
+		t.Fatalf("all-cases lock (with default) not held at join: %v", st)
+	}
+}
+
+func TestCFGSwitchWithoutDefaultSkips(t *testing.T) {
+	src := cfgPrelude + `
+func f(x int) {
+	switch x {
+	case 1:
+		lock()
+	}
+	use()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	if st := stateAtCall(t, g, "use"); st["held"] {
+		t.Fatalf("no-default switch must admit the skip path: %v", st)
+	}
+}
+
+func TestCFGBreakCarriesState(t *testing.T) {
+	src := cfgPrelude + `
+func f(n int) {
+	lock()
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+	}
+	use()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	if st := stateAtCall(t, g, "use"); !st["held"] {
+		t.Fatalf("state lost across a loop containing break: %v", st)
+	}
+}
+
+func TestCFGEveryBlockReachesInMap(t *testing.T) {
+	src := cfgPrelude + `
+func f(c bool) {
+	if c {
+		return
+	}
+	use()
+	return
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	ins := g.ForwardMust(Set{}, lockTransfer)
+	for _, bl := range g.Blocks {
+		if ins[bl] == nil {
+			t.Fatalf("block %d has nil in-state", bl.Index)
+		}
+	}
+}
+
+func TestCFGNilBodyTrivial(t *testing.T) {
+	g := BuildCFG(nil)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("nil body must still yield entry and exit")
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatalf("entry should fall through to exit, got %d succs", len(g.Entry.Succs))
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	src := cfgPrelude + `
+func f(a, b chan int) {
+	lock()
+	select {
+	case <-a:
+		work()
+	case <-b:
+		unlock()
+	}
+	use()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	if st := stateAtCall(t, g, "use"); st["held"] {
+		t.Fatalf("one select arm unlocked; join must drop held: %v", st)
+	}
+}
+
+func TestCFGBlocksCoverAllStatements(t *testing.T) {
+	src := cfgPrelude + `
+func f(n int) {
+	lock()
+	for i := 0; i < n; i++ {
+		work()
+	}
+	switch n {
+	case 1:
+		use()
+	}
+	unlock()
+}`
+	g := BuildCFG(parseBody(t, src, "f"))
+	var got []string
+	for _, bl := range g.Blocks {
+		for _, n := range bl.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						got = append(got, id.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	joined := strings.Join(got, ",")
+	for _, want := range []string{"lock", "work", "use", "unlock"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("call %s missing from CFG nodes (got %s)", want, joined)
+		}
+	}
+}

@@ -44,3 +44,16 @@ func TestFsyncHygieneFixture(t *testing.T) {
 func TestGoSafetyFixture(t *testing.T) {
 	atest.Run(t, "testdata/gosafety", "fixture/cmd/drevald", checks.GoSafety)
 }
+
+func TestLockGuardFixture(t *testing.T) {
+	atest.Run(t, "testdata/lockguard", "fixture/lockguard", checks.LockGuard)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	// Loaded as internal/core so the View/ViewIdx naming seeds apply.
+	atest.Run(t, "testdata/hotalloc", "fixture/internal/core", checks.HotAlloc)
+}
+
+func TestSeedFlowFixture(t *testing.T) {
+	atest.Run(t, "testdata/seedflow", "fixture/seedflow", checks.SeedFlow)
+}

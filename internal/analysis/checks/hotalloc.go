@@ -1,0 +1,365 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"drnet/internal/analysis"
+)
+
+// HotAlloc keeps the per-record paths allocation-free. A function is
+// "hot" when it is one of internal/core's estimator kernels (name
+// ending in View/ViewIdx/ViewCtx/ViewIdxCtx, excluding constructors
+// and fitters), or carries a marker:
+//
+//	//lint:hot            — the body runs once per request; allocation
+//	                        inside its loops is per-record cost
+//	//lint:hot perrecord  — the whole body runs once per record; any
+//	                        allocation at all is per-record cost
+//
+// Hotness propagates through the package call graph: a callee of a hot
+// function is hot too, and a callee invoked inside one of the hot
+// body's loops inherits the stricter per-record grade. Flagged
+// constructs: make, map/slice composite literals, &T{...}, new,
+// append (growth can reallocate), closures capturing enclosing locals,
+// and implicit interface boxing of concrete non-pointer values at call
+// sites. Calls that resolve into other packages are opaque — the
+// analyzer trusts their documented allocation behavior (soundness
+// caveat; see DESIGN.md).
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "heap allocation (make, literals, append growth, closure " +
+		"capture, interface boxing) on hot estimator/journal paths",
+	Run: runHotAlloc,
+}
+
+type hotness int
+
+const (
+	notHot  hotness = iota
+	bodyHot         // allocations inside the body's loops are per-record
+	loopHot         // the whole body is per-record: any allocation counts
+)
+
+// hotFactKey publishes each hot function's grade into the fact store.
+const hotFactKey = "hotalloc.hot"
+
+// estimatorSuffixes are the internal/core kernel naming conventions.
+var estimatorSuffixes = []string{"View", "ViewIdx", "ViewCtx", "ViewIdxCtx"}
+
+// estimatorPrefixSkip excludes constructors/fitters/builders that
+// merely end in a kernel suffix (NewView, buildView, ...): they run
+// once per trace, not once per record.
+var estimatorPrefixSkip = []string{"New", "Fit", "Bootstrap", "build"}
+
+func runHotAlloc(pass *analysis.Pass) {
+	cg := pass.CallGraph()
+	hot := map[*types.Func]hotness{}
+	why := map[*types.Func]string{}
+
+	// Seeds.
+	for _, fi := range cg.Decls() {
+		h, reason := seedHotness(pass, fi.Decl)
+		if h > hot[canonFunc(fi.Fn)] {
+			hot[canonFunc(fi.Fn)] = h
+			why[canonFunc(fi.Fn)] = reason
+		}
+	}
+
+	// Propagate through same-package call edges to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range cg.Decls() {
+			h := hot[canonFunc(fi.Fn)]
+			if h == notHot {
+				continue
+			}
+			for _, e := range fi.Out {
+				if e.Callee == nil {
+					continue
+				}
+				callee := canonFunc(e.Callee)
+				if ci := cg.Lookup(callee); ci == nil || ci.Decl == nil {
+					continue // declared in another package: opaque
+				}
+				target := h
+				if h == bodyHot && e.Site.InLoop {
+					target = loopHot
+				}
+				if target > hot[callee] {
+					hot[callee] = target
+					why[callee] = "called from " + fi.Decl.Name.Name
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, fi := range cg.Decls() {
+		if h := hot[canonFunc(fi.Fn)]; h != notHot {
+			pass.Facts.Set(fi.Fn, hotFactKey, h)
+			checkHotBody(pass, fi.Decl, h, why[canonFunc(fi.Fn)])
+		}
+	}
+}
+
+// canonFunc maps instantiated generic functions/methods back to their
+// declared origin so graph lookups and fact keys agree.
+func canonFunc(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// seedHotness classifies one declaration as a hot seed.
+func seedHotness(pass *analysis.Pass, decl *ast.FuncDecl) (hotness, string) {
+	if decl.Doc != nil {
+		for _, c := range decl.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			switch text {
+			case "lint:hot":
+				return bodyHot, "//lint:hot"
+			case "lint:hot perrecord":
+				return loopHot, "//lint:hot perrecord"
+			}
+		}
+	}
+	if pathHasSuffix(pass.Path, "internal/core") {
+		name := decl.Name.Name
+		for _, p := range estimatorPrefixSkip {
+			if strings.HasPrefix(name, p) {
+				return notHot, ""
+			}
+		}
+		for _, s := range estimatorSuffixes {
+			if strings.HasSuffix(name, s) {
+				return bodyHot, "estimator kernel"
+			}
+		}
+	}
+	return notHot, ""
+}
+
+// checkHotBody reports the allocating constructs in one hot body:
+// everything for loopHot, loop-nested sites for bodyHot.
+func checkHotBody(pass *analysis.Pass, decl *ast.FuncDecl, h hotness, why string) {
+	name := decl.Name.Name
+	origin := name
+	if why != "" {
+		origin = name + " (" + why + ")"
+	}
+	analysis.WalkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		inLoop := false
+		for _, anc := range stack {
+			switch anc.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			}
+		}
+		if coldBranch(stack) {
+			// An if-branch that ends in return executes at most once
+			// per call — validation/error exits are never per-record.
+			return true
+		}
+		if h == bodyHot && !inLoop {
+			// Still descend: a loop may be deeper in the subtree.
+			if what := allocDesc(pass, n, stack); what != "" {
+				return !isAllocSubtreeOpaque(n)
+			}
+			return true
+		}
+		if what := allocDesc(pass, n, stack); what != "" {
+			pass.Reportf(n.Pos(), "%s in hot path %s", what, origin)
+			return !isAllocSubtreeOpaque(n)
+		}
+		return true
+	})
+}
+
+// coldBranch reports whether the node whose ancestor stack is given
+// sits inside an if-branch block terminated by a return, with no loop
+// or function literal between that block and the node. Such code runs
+// at most once per call of the enclosing function, so its allocations
+// are never per-record (the cold error-exit idiom).
+func coldBranch(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 1; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			if _, isIf := stack[i-1].(*ast.IfStmt); !isIf {
+				continue
+			}
+			if len(n.List) == 0 {
+				continue
+			}
+			if _, ok := n.List[len(n.List)-1].(*ast.ReturnStmt); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isAllocSubtreeOpaque reports whether, having flagged n, its children
+// should be skipped to avoid double counting (a &T{...} contains a
+// composite literal; flagging both is noise).
+func isAllocSubtreeOpaque(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.UnaryExpr, *ast.FuncLit:
+		return true
+	}
+	return false
+}
+
+// allocDesc classifies one node as an allocating construct, returning
+// a human-readable description or "".
+func allocDesc(pass *analysis.Pass, n ast.Node, stack []ast.Node) string {
+	info := pass.Info
+	switch n := n.(type) {
+	case *ast.CompositeLit:
+		// &T{...} is reported at the UnaryExpr; T{...} of map/slice
+		// type heap-allocates its backing store directly.
+		if len(stack) > 0 {
+			if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+				return ""
+			}
+		}
+		t := info.TypeOf(n)
+		if t == nil {
+			return ""
+		}
+		switch t.Underlying().(type) {
+		case *types.Map:
+			return "map literal allocates"
+		case *types.Slice:
+			return "slice literal allocates"
+		}
+		return ""
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				return "&composite literal allocates"
+			}
+		}
+		return ""
+	case *ast.FuncLit:
+		if capturesLocals(info, n) {
+			return "closure capturing locals allocates"
+		}
+		return ""
+	case *ast.CallExpr:
+		return callAllocDesc(info, n)
+	}
+	return ""
+}
+
+// callAllocDesc classifies a call expression: allocating builtins,
+// type conversions to interface, and implicit interface boxing of
+// concrete non-pointer arguments.
+func callAllocDesc(info *types.Info, call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b != nil {
+			switch id.Name {
+			case "make":
+				return "make allocates"
+			case "new":
+				return "new allocates"
+			case "append":
+				return "append may grow its backing array"
+			}
+			return ""
+		}
+	}
+	// Conversion to an interface type boxes the operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(info, call.Args[0]) {
+			return "conversion to interface boxes its operand"
+		}
+		return ""
+	}
+	// Implicit boxing at argument positions with interface parameters.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig == nil {
+		return ""
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		if boxes(info, arg) {
+			return "passing a non-pointer value as an interface boxes it"
+		}
+	}
+	return ""
+}
+
+// boxes reports whether storing arg's value in an interface heap-
+// allocates: a concrete non-pointer value does; interfaces, pointers,
+// nils and untyped constants folded at compile time do not count.
+func boxes(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[info1(arg)]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return false
+	}
+	t := tv.Type
+	if types.IsInterface(t) {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+// info1 unwraps parens so Types lookups hit the recorded expression.
+func info1(e ast.Expr) ast.Expr { return ast.Unparen(e) }
+
+// capturesLocals reports whether lit references variables (locals,
+// parameters, receivers) declared in an enclosing function — the
+// condition under which the closure and its captured frame escape to
+// the heap. Package-level variables do not capture.
+func capturesLocals(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v == nil || v.IsField() || v.Pos() == token.NoPos {
+			return true
+		}
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+			return true // package scope
+		}
+		// Declared lexically before the literal (and not inside it):
+		// an enclosing function's variable.
+		if v.Pos() < lit.Pos() {
+			captured = true
+			return false
+		}
+		return true
+	})
+	return captured
+}

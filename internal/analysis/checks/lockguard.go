@@ -1,0 +1,738 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"drnet/internal/analysis"
+)
+
+// LockGuard enforces annotated mutex discipline interprocedurally.
+// A struct field (or package-level variable) annotated
+//
+//	// guarded by <mu>
+//
+// where <mu> names a sibling sync.Mutex/sync.RWMutex field (or a
+// package-level mutex variable), may only be accessed on paths where
+// that mutex is provably held: after <base>.<mu>.Lock()/RLock() and
+// before the matching Unlock (a deferred Unlock holds to function
+// exit). The variant
+//
+//	// guarded by <mu> (writes)
+//
+// guards only mutations — assignments, ++/--, address-taking and
+// atomic Store/Swap/CompareAndSwap/Add calls — leaving lock-free
+// atomic reads unconstrained (the Journal.sink contract: the mutex
+// serializes swaps, not loads).
+//
+// The analysis is interprocedural through the package's call graph
+// via the repo's *Locked convention: a method whose name ends in
+// "Locked" asserts "my caller holds the receiver's guards"; its own
+// unguarded accesses are legal, but every call site of a *Locked
+// method must hold the mutexes the callee (transitively) touches.
+// Objects freshly constructed in the current function (composite
+// literals that have not escaped) are exempt — a constructor may
+// initialize guarded fields before the value is shared.
+var LockGuard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated '// guarded by <mu>' accessed without the " +
+		"mutex held, traced through *Locked method calls",
+	Run: runLockGuard,
+}
+
+// guardedByRe matches the annotation grammar. The line must start
+// with the phrase so prose mentioning a mutex does not bind.
+var guardedByRe = regexp.MustCompile(`^guarded by ([A-Za-z_][A-Za-z0-9_]*)(\s*\(writes\))?\.?\s*$`)
+
+// guardSpec records how one object is protected.
+type guardSpec struct {
+	mu     *types.Var // canonical (Origin) mutex object
+	writes bool       // only mutations need the lock
+	pkg    bool       // mu is a package-level variable, not a field
+}
+
+// lockFactKey is the name under which lockguard publishes each guarded
+// object's spec into the pass fact store (consumed by tests and
+// available to later analyzers).
+const lockFactKey = "lockguard.guard"
+
+type lockguardState struct {
+	pass *analysis.Pass
+	// guards maps canonical guarded objects (field vars or package
+	// vars) to their spec.
+	guards map[*types.Var]guardSpec
+	// mutexes is the set of canonical mutex objects named by any
+	// annotation, for fast lock-op matching.
+	mutexes map[*types.Var]bool
+	// requires maps a *Locked method (canonical) to the mutexes its
+	// body (transitively) touches unprotected — what call sites owe it.
+	requires map[*types.Func]map[*types.Var]bool
+	units    []*funcUnit
+}
+
+// funcUnit is one analysis unit: a declared function body or a
+// function-literal body (closures are separate units because they may
+// run on goroutines where the enclosing lock state means nothing).
+type funcUnit struct {
+	name     string
+	decl     *ast.FuncDecl // nil for literals
+	body     *ast.BlockStmt
+	recvName string       // receiver identifier, "" when absent
+	recvType *types.Named // receiver's named type (deref'd), or nil
+	fn       *types.Func  // canonical func object, nil for literals
+	fresh    map[types.Object]bool
+	writes   map[ast.Node]bool
+}
+
+func runLockGuard(pass *analysis.Pass) {
+	st := &lockguardState{
+		pass:     pass,
+		guards:   map[*types.Var]guardSpec{},
+		mutexes:  map[*types.Var]bool{},
+		requires: map[*types.Func]map[*types.Var]bool{},
+	}
+	st.collectGuards()
+	if len(st.guards) == 0 {
+		return
+	}
+	for obj, spec := range st.guards {
+		pass.Facts.Set(obj, lockFactKey, spec)
+	}
+	st.collectUnits()
+	st.solveRequires()
+	for _, u := range st.units {
+		st.checkUnit(u, true)
+	}
+}
+
+// ---- annotation collection ----
+
+// collectGuards parses '// guarded by' annotations off struct fields
+// and package-level var specs, validating that the named mutex exists
+// and is a mutex.
+func (st *lockguardState) collectGuards() {
+	for _, f := range st.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				st.structGuards(n)
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					st.varGuards(n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// annotationOf extracts the guard annotation from a doc comment group
+// and/or trailing comment, returning the mutex name and writes flag;
+// ok is false when no line matches.
+func annotationOf(groups ...*ast.CommentGroup) (name string, writes bool, ok bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			m := guardedByRe.FindStringSubmatch(text)
+			if m == nil {
+				continue
+			}
+			return m[1], m[2] != "", true
+		}
+	}
+	return "", false, false
+}
+
+func (st *lockguardState) structGuards(s *ast.StructType) {
+	// First index the struct's own fields by name so the annotation's
+	// mutex reference can be resolved to a sibling.
+	byName := map[string]*ast.Field{}
+	for _, fld := range s.Fields.List {
+		for _, id := range fld.Names {
+			byName[id.Name] = fld
+		}
+	}
+	for _, fld := range s.Fields.List {
+		muName, writes, ok := annotationOf(fld.Doc, fld.Comment)
+		if !ok {
+			continue
+		}
+		sib, ok := byName[muName]
+		if !ok {
+			st.pass.Reportf(fld.Pos(), "guarded by %s: no sibling field named %s in this struct", muName, muName)
+			continue
+		}
+		var muVar *types.Var
+		for _, id := range sib.Names {
+			if id.Name == muName {
+				muVar, _ = st.pass.Info.Defs[id].(*types.Var)
+			}
+		}
+		if muVar == nil || !isMutexVar(muVar) {
+			st.pass.Reportf(fld.Pos(), "guarded by %s: %s is not a sync.Mutex or sync.RWMutex", muName, muName)
+			continue
+		}
+		muVar = muVar.Origin()
+		st.mutexes[muVar] = true
+		for _, id := range fld.Names {
+			if v, ok := st.pass.Info.Defs[id].(*types.Var); ok && v != nil {
+				st.guards[v.Origin()] = guardSpec{mu: muVar, writes: writes}
+			}
+		}
+	}
+}
+
+func (st *lockguardState) varGuards(d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		// A single-spec `var x = ...` hangs its doc off the GenDecl;
+		// grouped specs carry their own.
+		groups := []*ast.CommentGroup{vs.Doc, vs.Comment}
+		if len(d.Specs) == 1 {
+			groups = append(groups, d.Doc)
+		}
+		muName, writes, ok := annotationOf(groups...)
+		if !ok {
+			continue
+		}
+		var muVar *types.Var
+		if st.pass.Pkg != nil {
+			if o, ok := st.pass.Pkg.Scope().Lookup(muName).(*types.Var); ok {
+				muVar = o
+			}
+		}
+		if muVar == nil || !isMutexVar(muVar) {
+			st.pass.Reportf(vs.Pos(), "guarded by %s: no package-level sync.Mutex or sync.RWMutex named %s", muName, muName)
+			continue
+		}
+		st.mutexes[muVar] = true
+		for _, id := range vs.Names {
+			if v, ok := st.pass.Info.Defs[id].(*types.Var); ok && v != nil {
+				// Only package-level variables take the pkg form.
+				if v.Parent() == st.pass.Pkg.Scope() {
+					st.guards[v] = guardSpec{mu: muVar, writes: writes, pkg: true}
+				}
+			}
+		}
+	}
+}
+
+// isMutexVar reports whether v's type (one pointer level deref'd) is
+// sync.Mutex or sync.RWMutex.
+func isMutexVar(v *types.Var) bool {
+	t := v.Type()
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// ---- unit collection ----
+
+func (st *lockguardState) collectUnits() {
+	for _, f := range st.pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			u := &funcUnit{name: fd.Name.Name, decl: fd, body: fd.Body}
+			if fn, ok := st.pass.Info.Defs[fd.Name].(*types.Func); ok && fn != nil {
+				u.fn = fn.Origin()
+			}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				u.recvName = fd.Recv.List[0].Names[0].Name
+				if tv, ok := st.pass.Info.Types[fd.Recv.List[0].Type]; ok {
+					t := tv.Type
+					if p, ok := t.Underlying().(*types.Pointer); ok {
+						t = p.Elem()
+					}
+					if n, ok := t.(*types.Named); ok {
+						u.recvType = n
+					}
+				}
+			}
+			st.prepUnit(u)
+			st.units = append(st.units, u)
+			// Each nested function literal is its own unit.
+			base := u.name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					lu := &funcUnit{name: base + ".func", body: lit.Body}
+					st.prepUnit(lu)
+					st.units = append(st.units, lu)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// prepUnit precomputes the unit's fresh-object set and write sites.
+func (st *lockguardState) prepUnit(u *funcUnit) {
+	u.fresh = map[types.Object]bool{}
+	u.writes = map[ast.Node]bool{}
+	info := st.pass.Info
+	ast.Inspect(u.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					if isFreshAlloc(info, rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok {
+							if obj := info.Defs[id]; obj != nil {
+								u.fresh[obj] = true
+							}
+						}
+					}
+				}
+			}
+			for _, lhs := range n.Lhs {
+				st.markWrite(u, lhs)
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if i < len(n.Values) && isFreshAlloc(info, n.Values[i]) {
+					if obj := info.Defs[id]; obj != nil {
+						u.fresh[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			st.markWrite(u, n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				st.markWrite(u, n.X)
+			}
+		case *ast.CallExpr:
+			// Atomic mutation methods on a guarded field count as
+			// writes; Load and friends stay reads.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Store", "Swap", "CompareAndSwap", "Add", "Or", "And":
+					st.markWrite(u, sel.X)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// markWrite marks the guarded selector at the base of expr (if any)
+// as a mutation site. `j.sink.Swap(x)` marks the `j.sink` selector;
+// `l.cells[i] = v` marks `l.cells`.
+func (st *lockguardState) markWrite(u *funcUnit, expr ast.Expr) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			if v := st.guardedObj(e.Sel); v != nil {
+				u.writes[e] = true
+				return
+			}
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.Ident:
+			if v, ok := st.pass.Info.Uses[e].(*types.Var); ok && v != nil {
+				if spec, ok := st.guards[canonVar(v)]; ok && spec.pkg {
+					u.writes[e] = true
+				}
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+// guardedObj resolves a selector identifier to a guarded field var,
+// or nil.
+func (st *lockguardState) guardedObj(id *ast.Ident) *types.Var {
+	v, ok := st.pass.Info.Uses[id].(*types.Var)
+	if !ok || v == nil {
+		return nil
+	}
+	cv := canonVar(v)
+	if _, ok := st.guards[cv]; ok {
+		return cv
+	}
+	return nil
+}
+
+// canonVar maps an (possibly instantiated-generic) field var to its
+// declared origin so guards on generic structs match at use sites.
+func canonVar(v *types.Var) *types.Var { return v.Origin() }
+
+// isFreshAlloc reports whether rhs constructs a brand-new value —
+// a composite literal, &literal, or new(T) — that cannot yet be
+// shared with another goroutine.
+func isFreshAlloc(info *types.Info, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- lock-state dataflow ----
+
+// heldKey renders one held-mutex abstract value: "<basePath>\x00<mu>"
+// for field mutexes, "\x00<mu>" for package-level ones. mu is made
+// unique by its declaration position.
+func heldKey(base string, mu *types.Var) string {
+	return base + "\x00" + mu.Name() + "@" + strconv.Itoa(int(mu.Pos()))
+}
+
+// pathOf canonicalizes a selector base expression to a dotted path of
+// identifiers plus the root object; ok is false for bases the
+// analysis cannot name (calls, index expressions, ...).
+func pathOf(info *types.Info, expr ast.Expr) (path string, root types.Object, ok bool) {
+	var parts []string
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			if obj == nil {
+				return "", nil, false
+			}
+			parts = append(parts, e.Name)
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, "."), obj, true
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return "", nil, false
+		}
+	}
+}
+
+// lockOp describes one Lock/Unlock call found in a statement.
+type lockOp struct {
+	key     string
+	acquire bool
+}
+
+// lockOps extracts the mutex operations in a node, excluding nested
+// function literals and deferred calls (a deferred Unlock releases at
+// exit, so it never clears the held state mid-body).
+func (st *lockguardState) lockOps(n ast.Node) []lockOp {
+	var ops []lockOp
+	skipDefer := map[ast.Node]bool{}
+	analysis.WalkStack(n, func(node ast.Node, stack []ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			skipDefer[node.Call] = true
+		case *ast.CallExpr:
+			if skipDefer[node] {
+				return true
+			}
+			sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			var acquire bool
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				acquire = true
+			case "Unlock", "RUnlock":
+				acquire = false
+			default:
+				return true
+			}
+			// The callee must be a known guard mutex: base.mu.Lock()
+			// or pkgMu.Lock().
+			switch x := ast.Unparen(sel.X).(type) {
+			case *ast.SelectorExpr:
+				mv, ok := st.pass.Info.Uses[x.Sel].(*types.Var)
+				if !ok || mv == nil || !st.mutexes[canonVar(mv)] {
+					return true
+				}
+				base, _, okp := pathOf(st.pass.Info, x.X)
+				if !okp {
+					return true
+				}
+				ops = append(ops, lockOp{key: heldKey(base, canonVar(mv)), acquire: acquire})
+			case *ast.Ident:
+				mv, ok := st.pass.Info.Uses[x].(*types.Var)
+				if !ok || mv == nil || !st.mutexes[mv] {
+					return true
+				}
+				ops = append(ops, lockOp{key: heldKey("", mv), acquire: acquire})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// entryState builds the held set assumed at a unit's entry: a *Locked
+// method starts with every guard of its receiver held (the caller's
+// obligation); everything else starts empty.
+func (st *lockguardState) entryState(u *funcUnit) analysis.Set {
+	s := analysis.Set{}
+	if u.decl == nil || !strings.HasSuffix(u.name, "Locked") {
+		return s
+	}
+	for _, mu := range st.recvGuardMutexes(u.recvType) {
+		s[heldKey(u.recvName, mu)] = true
+	}
+	// By the same convention a *Locked function is entitled to assume
+	// package-level guards it touches are held by its caller.
+	for _, spec := range st.guards {
+		if spec.pkg {
+			s[heldKey("", spec.mu)] = true
+		}
+	}
+	return s
+}
+
+// recvGuardMutexes lists the distinct guard mutexes protecting fields
+// of named type n, sorted for determinism.
+func (st *lockguardState) recvGuardMutexes(n *types.Named) []*types.Var {
+	if n == nil {
+		return nil
+	}
+	stru, ok := n.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	seen := map[*types.Var]bool{}
+	var out []*types.Var
+	for i := 0; i < stru.NumFields(); i++ {
+		if spec, ok := st.guards[canonVar(stru.Field(i))]; ok && !seen[spec.mu] {
+			seen[spec.mu] = true
+			out = append(out, spec.mu)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// ---- interprocedural requires fixpoint ----
+
+// solveRequires computes, for every *Locked method, the set of guard
+// mutexes its body touches while relying on the caller — directly or
+// through further *Locked calls — so call sites can be charged.
+func (st *lockguardState) solveRequires() {
+	var locked []*funcUnit
+	for _, u := range st.units {
+		if u.decl != nil && u.fn != nil && strings.HasSuffix(u.name, "Locked") {
+			locked = append(locked, u)
+			st.requires[u.fn] = map[*types.Var]bool{}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range locked {
+			need := st.unitNeeds(u)
+			cur := st.requires[u.fn]
+			for mu := range need {
+				if !cur[mu] {
+					cur[mu] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// unitNeeds runs the unit's dataflow with an EMPTY entry and returns
+// the mutexes it touches unprotected (receiver-rooted or package-
+// level) — i.e. what it needs its caller to hold.
+func (st *lockguardState) unitNeeds(u *funcUnit) map[*types.Var]bool {
+	need := map[*types.Var]bool{}
+	st.walkUnit(u, analysis.Set{}, func(state analysis.Set, sel ast.Node, base string, root types.Object, mu *types.Var) {
+		if base == "" || (u.recvName != "" && rootIsNamed(root, u.recvName)) {
+			need[mu] = true
+		}
+	})
+	return need
+}
+
+func rootIsNamed(root types.Object, name string) bool {
+	return root != nil && root.Name() == name
+}
+
+// ---- checking ----
+
+// checkUnit re-runs the unit's dataflow with the convention entry
+// state and reports violations (report=true) at access sites and
+// *Locked call sites.
+func (st *lockguardState) checkUnit(u *funcUnit, report bool) {
+	st.walkUnit(u, st.entryState(u), func(state analysis.Set, at ast.Node, base string, root types.Object, mu *types.Var) {
+		if !report {
+			return
+		}
+		if root != nil && u.fresh[root] {
+			return
+		}
+		switch n := at.(type) {
+		case *ast.CallExpr:
+			fnName := "function"
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				fnName = sel.Sel.Name
+			}
+			st.pass.Reportf(at.Pos(), "call to %s requires %s held (a *Locked method touches fields guarded by it); lock %s first or call from a *Locked method", fnName, mu.Name(), mu.Name())
+		default:
+			name := ""
+			if sel, ok := at.(*ast.SelectorExpr); ok {
+				name = sel.Sel.Name
+			} else if id, ok := at.(*ast.Ident); ok {
+				name = id.Name
+			}
+			st.pass.Reportf(at.Pos(), "%s is guarded by %s but accessed without holding it; acquire %s or move this access into a *Locked method", name, mu.Name(), mu.Name())
+		}
+	})
+}
+
+// walkUnit runs the must-held dataflow over a unit and invokes
+// violate for every guarded access or under-locked *Locked call.
+func (st *lockguardState) walkUnit(u *funcUnit, entry analysis.Set, violate func(state analysis.Set, at ast.Node, base string, root types.Object, mu *types.Var)) {
+	g := st.pass.FuncCFG(u.body)
+	transfer := func(state analysis.Set, n ast.Node) analysis.Set {
+		for _, op := range st.lockOps(n) {
+			if op.acquire {
+				state[op.key] = true
+			} else {
+				delete(state, op.key)
+			}
+		}
+		return state
+	}
+	ins := g.ForwardMust(entry, transfer)
+	for _, bl := range g.Blocks {
+		state := ins[bl].Clone()
+		for _, n := range bl.Nodes {
+			st.checkNode(u, state, n, violate)
+			state = transfer(state, n)
+		}
+	}
+}
+
+// checkNode scans one CFG node for guarded accesses and *Locked calls
+// and charges them against the current held state.
+func (st *lockguardState) checkNode(u *funcUnit, state analysis.Set, n ast.Node, violate func(analysis.Set, ast.Node, string, types.Object, *types.Var)) {
+	analysis.WalkStack(n, func(node ast.Node, stack []ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false // separate unit
+		case *ast.SelectorExpr:
+			if v := st.guardedObj(node.Sel); v != nil {
+				spec := st.guards[v]
+				if spec.writes && !u.writes[node] {
+					return true
+				}
+				base, root, ok := pathOf(st.pass.Info, node.X)
+				if !ok {
+					return true
+				}
+				if !state[heldKey(base, spec.mu)] {
+					violate(state, node, base, root, spec.mu)
+				}
+				return true
+			}
+		case *ast.Ident:
+			// Package-level guarded vars are referenced bare.
+			if len(stack) > 0 {
+				if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.Sel == node {
+					return true
+				}
+			}
+			if v, ok := st.pass.Info.Uses[node].(*types.Var); ok && v != nil {
+				if spec, ok := st.guards[v]; ok && spec.pkg {
+					if spec.writes && !u.writes[node] {
+						return true
+					}
+					if !state[heldKey("", spec.mu)] {
+						violate(state, node, "", v, spec.mu)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			st.checkLockedCall(u, state, node, violate)
+		}
+		return true
+	})
+}
+
+// checkLockedCall charges a call to a *Locked method against the held
+// state: every mutex in the callee's requires set must be held for
+// the call's receiver base.
+func (st *lockguardState) checkLockedCall(u *funcUnit, state analysis.Set, call *ast.CallExpr, violate func(analysis.Set, ast.Node, string, types.Object, *types.Var)) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := st.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn == nil {
+		return
+	}
+	req := st.requires[fn.Origin()]
+	if len(req) == 0 {
+		return
+	}
+	base, root, okp := pathOf(st.pass.Info, sel.X)
+	if !okp {
+		return
+	}
+	mus := make([]*types.Var, 0, len(req))
+	for mu := range req {
+		mus = append(mus, mu)
+	}
+	sort.Slice(mus, func(i, j int) bool { return mus[i].Pos() < mus[j].Pos() })
+	for _, mu := range mus {
+		spec := guardSpec{}
+		for _, s := range st.guards {
+			if s.mu == mu {
+				spec = s
+				break
+			}
+		}
+		key := heldKey(base, mu)
+		if spec.pkg {
+			key = heldKey("", mu)
+		}
+		if !state[key] {
+			violate(state, call, base, root, mu)
+		}
+	}
+}

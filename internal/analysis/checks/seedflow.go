@@ -1,0 +1,315 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"drnet/internal/analysis"
+)
+
+// SeedFlow traces the provenance of every RNG seed. The paper's
+// methodology lives or dies on controlled randomness: a seed hardwired
+// to a constant silently collapses every "independent" run onto one
+// sample path, and a seed drawn from the wall clock makes runs
+// unreproducible. SeedFlow finds each construction of the repo's RNGs
+// (mathx.NewRNG, mathx.NewPCG, parallel.NewShardedRNG) and walks the
+// seed expression backwards — through conversions, arithmetic, local
+// definitions, and (via the package call graph) the arguments of every
+// in-package caller when the seed is a parameter. A construction is
+// flagged when the seed provably bottoms out in constants on every
+// path, or in a wall-clock read on any path. Parameters of exported
+// entry points with no in-package callers are presumed caller-
+// controlled and stay clean.
+var SeedFlow = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "RNG constructions whose seed bottoms out in a constant " +
+		"(non-varied runs) or wall-clock time (unreproducible runs)",
+	Run: runSeedFlow,
+}
+
+type seedVerdict int
+
+const (
+	seedOK    seedVerdict = iota // parameter/flag/opaque: caller-controlled
+	seedConst                    // provably constant on every path
+	seedClock                    // wall-clock derived on some path
+)
+
+const (
+	seedMaxDepth = 6  // interprocedural hops before giving up (→ ok)
+	seedMaxFanIn = 20 // caller sites examined per parameter
+)
+
+func runSeedFlow(pass *analysis.Pass) {
+	tr := &seedTracer{pass: pass, cg: pass.CallGraph()}
+	for _, fi := range tr.cg.Decls() {
+		decl := fi.Decl
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			kind := rngConstruction(pass.Info, call)
+			if kind == "" {
+				return true
+			}
+			switch tr.trace(decl, call.Args[0], 0) {
+			case seedConst:
+				pass.Reportf(call.Pos(), "%s seed traces to a constant on every path; derive it from a parameter or flag so runs can be varied", kind)
+			case seedClock:
+				pass.Reportf(call.Pos(), "%s seed traces to wall-clock time; evaluation runs become unreproducible", kind)
+			}
+			return true
+		})
+	}
+}
+
+// rngConstruction classifies a call as one of the repo's RNG
+// constructors, returning its display name or "".
+func rngConstruction(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return ""
+	}
+	switch {
+	case pathHasSuffix(f.Pkg().Path(), "internal/mathx") && (f.Name() == "NewRNG" || f.Name() == "NewPCG"):
+		return f.Name()
+	case pathHasSuffix(f.Pkg().Path(), "internal/parallel") && f.Name() == "NewShardedRNG":
+		return f.Name()
+	}
+	return ""
+}
+
+type seedTracer struct {
+	pass *analysis.Pass
+	cg   *analysis.CallGraph
+}
+
+// combine merges the verdicts of two operands feeding one value:
+// wall-clock taints everything; a value is constant only when every
+// input is.
+func combineSeed(a, b seedVerdict) seedVerdict {
+	if a == seedClock || b == seedClock {
+		return seedClock
+	}
+	if a == seedConst && b == seedConst {
+		return seedConst
+	}
+	return seedOK
+}
+
+// combineCallers merges verdicts across independent call sites of one
+// parameter: any wall-clock site taints; constant only when every site
+// passes a constant.
+func combineCallers(vs []seedVerdict) seedVerdict {
+	if len(vs) == 0 {
+		return seedOK
+	}
+	out := vs[0]
+	for _, v := range vs[1:] {
+		out = combineSeed(out, v)
+	}
+	return out
+}
+
+// trace walks a seed expression backwards inside decl.
+func (tr *seedTracer) trace(decl *ast.FuncDecl, e ast.Expr, depth int) seedVerdict {
+	if depth > seedMaxDepth {
+		return seedOK
+	}
+	info := tr.pass.Info
+	e = tr.strip(e)
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return seedConst
+	case *ast.BinaryExpr:
+		return combineSeed(tr.trace(decl, e.X, depth), tr.trace(decl, e.Y, depth))
+	case *ast.CallExpr:
+		if isWallClockCall(info, e) {
+			return seedClock
+		}
+		return seedOK // opaque computation: assume caller-controlled
+	case *ast.SelectorExpr:
+		if c, ok := info.Uses[e.Sel].(*types.Const); ok && c != nil {
+			return seedConst
+		}
+		return seedOK // struct field / foreign var: opaque
+	case *ast.Ident:
+		switch obj := info.Uses[e].(type) {
+		case *types.Const:
+			return seedConst
+		case *types.Var:
+			if obj.Parent() != nil && tr.pass.Pkg != nil && obj.Parent() == tr.pass.Pkg.Scope() {
+				return seedOK // package-level var: opaque
+			}
+			if idx, ok := paramIndex(decl, obj); ok {
+				return tr.traceParam(decl, idx, depth)
+			}
+			return tr.traceLocal(decl, obj, depth)
+		}
+		return seedOK
+	}
+	return seedOK
+}
+
+// strip removes wrappers that do not change provenance: parens, unary
+// +/-/^, and type conversions.
+func (tr *seedTracer) strip(e ast.Expr) ast.Expr {
+	info := tr.pass.Info
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+				e = x.Args[0]
+				continue
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// isWallClockCall matches time.Now() and the Unix* extractors on a
+// time.Time value (a stored start time is still wall clock).
+func isWallClockCall(info *types.Info, call *ast.CallExpr) bool {
+	if isPkgCall(info, call, "time", "Now") {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Unix", "UnixNano", "UnixMilli", "UnixMicro", "Nanosecond":
+	default:
+		return false
+	}
+	return namedFrom(namedType(info.TypeOf(sel.X)), "time", "Time")
+}
+
+// namedType unwraps one pointer level to a named type.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// paramIndex returns obj's flattened position in decl's parameter
+// list, when obj is one of decl's parameters.
+func paramIndex(decl *ast.FuncDecl, obj *types.Var) (int, bool) {
+	if decl.Type.Params == nil {
+		return 0, false
+	}
+	idx := 0
+	for _, fld := range decl.Type.Params.List {
+		if len(fld.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range fld.Names {
+			if name.Pos() == obj.Pos() && name.Name == obj.Name() {
+				return idx, true
+			}
+			idx++
+		}
+	}
+	return 0, false
+}
+
+// traceParam follows a parameter back through the in-package call
+// sites of the enclosing function. No analyzable in-package callers →
+// the parameter is an external input → ok.
+func (tr *seedTracer) traceParam(decl *ast.FuncDecl, idx int, depth int) seedVerdict {
+	fn, _ := tr.pass.Info.Defs[decl.Name].(*types.Func)
+	if fn == nil {
+		return seedOK
+	}
+	callers := tr.cg.CallersOf(fn)
+	if len(callers) == 0 || len(callers) > seedMaxFanIn {
+		return seedOK
+	}
+	var vs []seedVerdict
+	for _, e := range callers {
+		if e.Site.Call == nil || len(e.Site.Call.Args) <= idx || e.Site.Call.Ellipsis.IsValid() {
+			return seedOK // reference edge or unanalyzable call shape
+		}
+		callerInfo := tr.cg.Lookup(e.Caller)
+		if callerInfo == nil || callerInfo.Decl == nil {
+			return seedOK
+		}
+		vs = append(vs, tr.trace(callerInfo.Decl, e.Site.Call.Args[idx], depth+1))
+	}
+	return combineCallers(vs)
+}
+
+// traceLocal follows a local variable to its defining assignments
+// within the enclosing declaration; multiple assignments combine like
+// independent call sites.
+func (tr *seedTracer) traceLocal(decl *ast.FuncDecl, obj *types.Var, depth int) seedVerdict {
+	info := tr.pass.Info
+	var vs []seedVerdict
+	opaque := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				for _, lhs := range n.Lhs {
+					if identIs(info, lhs, obj) {
+						opaque = true // multi-value assignment: give up
+					}
+				}
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if identIs(info, lhs, obj) {
+					vs = append(vs, tr.trace(decl, n.Rhs[i], depth+1))
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if info.Defs[name] == types.Object(obj) {
+					if i < len(n.Values) {
+						vs = append(vs, tr.trace(decl, n.Values[i], depth+1))
+					} else {
+						vs = append(vs, seedConst) // zero value
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if identIs(info, n.Key, obj) || identIs(info, n.Value, obj) {
+				opaque = true // range-derived index: treat as external
+			}
+		}
+		return true
+	})
+	if opaque || len(vs) == 0 {
+		return seedOK
+	}
+	return combineCallers(vs)
+}
+
+// identIs reports whether expr is an identifier bound to obj (as a
+// definition or a use).
+func identIs(info *types.Info, expr ast.Expr, obj *types.Var) bool {
+	if expr == nil {
+		return false
+	}
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Defs[id] == types.Object(obj) || info.Uses[id] == types.Object(obj)
+}

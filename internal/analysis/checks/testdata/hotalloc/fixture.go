@@ -1,0 +1,158 @@
+// Fixture for the hotalloc analyzer, loaded as fixture/internal/core
+// so the estimator naming seeds apply. Covers: name-seeded kernels
+// (allocs flagged only inside loops), //lint:hot and
+// //lint:hot perrecord markers, interprocedural propagation (callee of
+// a hot function, stricter grade when called in a loop), closure
+// capture, and interface boxing.
+package fixture
+
+import (
+	"fmt"
+	"io"
+)
+
+type pair struct{ a int }
+
+// --- name-seeded kernels: bodyHot, loop allocations flagged ---
+
+func DirectMethodView(n int) float64 {
+	buf := make([]float64, n) // clean: one-time setup outside the loop
+	var s float64
+	for i := 0; i < n; i++ {
+		tmp := make([]float64, 4) // want "make allocates in hot path DirectMethodView"
+		s += buf[i] + tmp[0]
+	}
+	return s
+}
+
+func ipsViewIdx(idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		p := &pair{a: i} // want "&composite literal allocates in hot path ipsViewIdx"
+		s += float64(p.a)
+	}
+	return s
+}
+
+// NewSummaryView merely ends in the kernel suffix: New* is excluded.
+func NewSummaryView(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		s := []float64{1, 2} // clean: constructors are not hot
+		out[i] = s[0]
+	}
+	return out
+}
+
+// --- markers ---
+
+//lint:hot
+func hotBody(n int) int {
+	m := map[int]int{} // clean: bodyHot flags only loop-nested allocs
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return len(m)
+}
+
+//lint:hot perrecord
+func perRecord(x int) []int {
+	return append([]int(nil), x) // want "append may grow its backing array in hot path perRecord"
+}
+
+// --- propagation through the call graph ---
+
+//lint:hot
+func hotCaller(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += helperInLoop(i)
+	}
+	return total + helperOutside(n)
+}
+
+// helperInLoop is called inside hotCaller's loop → loopHot: every
+// allocation counts.
+func helperInLoop(i int) int {
+	s := []int{i} // want "slice literal allocates in hot path helperInLoop"
+	return s[0]
+}
+
+// helperOutside is called outside the loop → bodyHot: only its own
+// loop-nested allocations count.
+func helperOutside(n int) int {
+	buf := []int{n} // clean: not in a loop
+	for i := 0; i < n; i++ {
+		buf = append(buf, i) // want "append may grow its backing array in hot path helperOutside"
+	}
+	return len(buf)
+}
+
+// --- closures ---
+
+//lint:hot perrecord
+func closureCapture(x int) func() int {
+	return func() int { return x } // want "closure capturing locals allocates in hot path closureCapture"
+}
+
+//lint:hot perrecord
+func closureNoCapture() func() int {
+	return func() int { return 7 } // clean: captures nothing
+}
+
+// --- interface boxing ---
+
+//lint:hot perrecord
+func boxing(v float64, w io.Writer) {
+	fmt.Fprintf(w, "%v", v) // want "passing a non-pointer value as an interface boxes it"
+}
+
+//lint:hot perrecord
+func convBox(v int) any {
+	return any(v) // want "conversion to interface boxes its operand"
+}
+
+//lint:hot perrecord
+func noBox(w io.Writer, err error) error {
+	_ = w
+	return err // clean: interfaces pass through without boxing
+}
+
+// --- cold error exits: return-terminated if-branches never repeat ---
+
+//lint:hot perrecord
+func coldError(x int) ([]int, error) {
+	if x < 0 {
+		return nil, fmt.Errorf("bad value %d", x) // clean: branch returns, runs at most once
+	}
+	out := []int{x} // want "slice literal allocates in hot path coldError"
+	return out, nil
+}
+
+func ColdInLoopView(xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			return 0, fmt.Errorf("bad element %d", x) // clean: exits the kernel
+		}
+		total += helperInLoop(x)
+	}
+	return total, nil
+}
+
+// buildSummaryView is a builder despite the suffix: build* is excluded.
+func buildSummaryView(n int) []float64 {
+	out := make([]float64, 0)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // clean: builders are not hot
+	}
+	return out
+}
+
+// --- suppression ---
+
+//lint:hot perrecord
+func allowedAlloc(n int) []int {
+	//lint:allow hotalloc cold error path, executed at most once per run
+	return make([]int, n)
+}

@@ -1,0 +1,193 @@
+// Fixture for the lockguard analyzer: every way a '// guarded by'
+// annotation can be honored or violated — straight-line locking,
+// deferred unlocks, early-unlock branches, the *Locked convention,
+// fresh constructors, writes-only guards, package-level guards and
+// closures.
+package fixture
+
+import "sync"
+
+// --- basic field guard ---
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) bad() int {
+	return c.n // want "n is guarded by mu but accessed without holding it"
+}
+
+func (c *counter) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodExplicit() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// --- path sensitivity: must-held at joins ---
+
+func (c *counter) earlyUnlockReturn(flip bool) int {
+	c.mu.Lock()
+	if flip {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.n // held on every path reaching here
+	c.mu.Unlock()
+	return v
+}
+
+func (c *counter) unlockOneBranch(flip bool) int {
+	c.mu.Lock()
+	if flip {
+		c.mu.Unlock()
+	}
+	return c.n // want "n is guarded by mu but accessed without holding it"
+}
+
+func (c *counter) lockInLoop(k int) {
+	for i := 0; i < k; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+func (c *counter) lockBeforeLoop(k int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < k; i++ {
+		c.n++ // defer holds across the whole body, including loops
+	}
+}
+
+// --- RWMutex: RLock counts as held ---
+
+type table struct {
+	rw    sync.RWMutex
+	cells map[string]int // guarded by rw
+}
+
+func (t *table) get(k string) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.cells[k]
+}
+
+func (t *table) badPut(k string, v int) {
+	t.cells[k] = v // want "cells is guarded by rw but accessed without holding it"
+}
+
+// --- *Locked convention: callee assumes, call site owes ---
+
+func (c *counter) bumpLocked() {
+	c.n++ // clean: a *Locked method's caller holds mu
+}
+
+func (c *counter) doubleLocked() {
+	c.bumpLocked() // clean: our own caller already holds mu
+}
+
+func (c *counter) callLockedBad() {
+	c.doubleLocked() // want "call to doubleLocked requires mu held"
+}
+
+func (c *counter) callLockedGood() {
+	c.mu.Lock()
+	c.bumpLocked()
+	c.mu.Unlock()
+}
+
+// --- fresh constructors are exempt ---
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7 // clean: c has not escaped yet
+	return c
+}
+
+// --- writes-only guards: reads stay lock-free ---
+
+type swapper struct {
+	smu  sync.Mutex
+	dest int // guarded by smu (writes)
+}
+
+func (s *swapper) read() int {
+	return s.dest // clean: only writes need smu
+}
+
+func (s *swapper) badWrite(v int) {
+	s.dest = v // want "dest is guarded by smu but accessed without holding it"
+}
+
+func (s *swapper) goodWrite(v int) {
+	s.smu.Lock()
+	s.dest = v
+	s.smu.Unlock()
+}
+
+// --- package-level guards ---
+
+var pageMu sync.Mutex
+
+// guarded by pageMu
+var pages = map[string]int{}
+
+func badPage(k string) int {
+	return pages[k] // want "pages is guarded by pageMu but accessed without holding it"
+}
+
+func goodPage(k string) int {
+	pageMu.Lock()
+	defer pageMu.Unlock()
+	return pages[k]
+}
+
+// --- closures are separate units: held state does not flow in ---
+
+func (c *counter) closureBad() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want "n is guarded by mu but accessed without holding it"
+	}
+}
+
+func (c *counter) closureGood() func() int {
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+}
+
+// --- annotation validation ---
+
+type brokenSibling struct {
+	// guarded by nosuch
+	x int // want "guarded by nosuch: no sibling field named nosuch"
+}
+
+type brokenType struct {
+	notAMutex int
+	// guarded by notAMutex
+	y int // want "guarded by notAMutex: notAMutex is not a sync.Mutex or sync.RWMutex"
+}
+
+// --- suppression still works ---
+
+func (c *counter) allowed() int {
+	//lint:allow lockguard snapshot read, torn value is acceptable here
+	return c.n
+}
+
+var _ = brokenSibling{}
+var _ = brokenType{}

@@ -1,0 +1,116 @@
+// Fixture for the seedflow analyzer: RNG constructions whose seed
+// bottoms out in constants or wall-clock reads, against the clean
+// parameter/flag-derived idioms. Imports the real module RNG packages
+// so the constructor matching is exercised end to end.
+package fixture
+
+import (
+	"time"
+
+	"drnet/internal/mathx"
+	"drnet/internal/parallel"
+)
+
+// --- direct constants ---
+
+func constSeed() *mathx.RNG {
+	return mathx.NewRNG(42) // want "NewRNG seed traces to a constant"
+}
+
+func constPCG() *mathx.RNG {
+	return mathx.NewPCG(7, 11) // want "NewPCG seed traces to a constant"
+}
+
+func constSharded() *parallel.ShardedRNG {
+	return parallel.NewShardedRNG(1) // want "NewShardedRNG seed traces to a constant"
+}
+
+func constArithmetic() *mathx.RNG {
+	return mathx.NewRNG(int64(3)*7919 + 13) // want "NewRNG seed traces to a constant"
+}
+
+// --- wall clock ---
+
+func clockSeed() *mathx.RNG {
+	return mathx.NewRNG(time.Now().UnixNano()) // want "NewRNG seed traces to wall-clock time"
+}
+
+func clockLocal() *mathx.RNG {
+	now := time.Now().UnixNano()
+	return mathx.NewRNG(now) // want "NewRNG seed traces to wall-clock time"
+}
+
+// --- clean: caller-controlled parameters ---
+
+func paramSeed(seed int64) *mathx.RNG {
+	return mathx.NewRNG(seed) // clean: no in-package caller pins the seed
+}
+
+func paramArithmetic(seed int64, run int) *mathx.RNG {
+	return mathx.NewRNG(seed + int64(run)) // clean: mixes a parameter
+}
+
+// --- local definitions ---
+
+func localConst() *mathx.RNG {
+	s := int64(9)
+	return mathx.NewRNG(s) // want "NewRNG seed traces to a constant"
+}
+
+func localZero() *mathx.RNG {
+	var s int64
+	return mathx.NewRNG(s) // want "NewRNG seed traces to a constant"
+}
+
+func localMixed(p int64) *mathx.RNG {
+	s := p + 3
+	return mathx.NewRNG(s) // clean: derived from a parameter
+}
+
+// --- loop variables trace to their constant init ---
+
+func loopSeeds(n int) []*mathx.RNG {
+	out := make([]*mathx.RNG, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, mathx.NewRNG(int64(i)*7919)) // want "NewRNG seed traces to a constant"
+	}
+	return out
+}
+
+// --- interprocedural: parameters traced through in-package callers ---
+
+// helper's only in-package caller passes a literal, so the parameter
+// is constant in every reachable configuration.
+func helper(seed int64) *mathx.RNG {
+	return mathx.NewRNG(seed) // want "NewRNG seed traces to a constant"
+}
+
+func callsHelper() *mathx.RNG {
+	return helper(1234)
+}
+
+// helperClock inherits the wall-clock taint from its caller.
+func helperClock(seed int64) *mathx.RNG {
+	return mathx.NewRNG(seed) // want "NewRNG seed traces to wall-clock time"
+}
+
+func callsHelperClock() *mathx.RNG {
+	return helperClock(time.Now().UnixNano())
+}
+
+// helperMixed has one constant caller and one parameter caller: not
+// provably constant, so it stays clean.
+func helperMixed(seed int64) *mathx.RNG {
+	return mathx.NewRNG(seed) // clean: a caller passes a live value
+}
+
+func callsHelperMixed(flagSeed int64) (*mathx.RNG, *mathx.RNG) {
+	return helperMixed(99), helperMixed(flagSeed)
+}
+
+// --- suppression ---
+
+func allowedWalkthrough() *mathx.RNG {
+	//lint:allow seedflow pedagogical fixed-seed walkthrough
+	return mathx.NewRNG(5)
+}

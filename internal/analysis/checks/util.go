@@ -17,7 +17,7 @@ import (
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Nondet, FloatHygiene, CtxDiscipline, ObsHygiene, GoSafety, FsyncHygiene}
+	return []*analysis.Analyzer{Nondet, FloatHygiene, CtxDiscipline, ObsHygiene, GoSafety, FsyncHygiene, LockGuard, HotAlloc, SeedFlow}
 }
 
 // pathHasSuffix reports whether the package path matches one of the

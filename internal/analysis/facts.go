@@ -1,0 +1,65 @@
+package analysis
+
+// The fact store lets analyzers attach findings to types.Objects and
+// read them back across function boundaries — the piece that turns the
+// per-file AST checks into interprocedural analyses. Facts live for
+// one package run: Run creates one store per package and hands it to
+// every analyzer in sequence, so an analyzer can also consume facts a
+// predecessor published (the analyzer slice order in checks.All is
+// therefore part of the contract).
+
+import (
+	"go/types"
+	"sort"
+)
+
+// Facts is a per-package fact store keyed by (object, fact name).
+type Facts struct {
+	m map[types.Object]map[string]any
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts {
+	return &Facts{m: map[types.Object]map[string]any{}}
+}
+
+// Set records fact key = val on obj, replacing any previous value.
+func (f *Facts) Set(obj types.Object, key string, val any) {
+	if obj == nil {
+		return
+	}
+	m, ok := f.m[obj]
+	if !ok {
+		m = map[string]any{}
+		f.m[obj] = m
+	}
+	m[key] = val
+}
+
+// Get returns the fact key attached to obj, if any.
+func (f *Facts) Get(obj types.Object, key string) (any, bool) {
+	if obj == nil {
+		return nil, false
+	}
+	v, ok := f.m[obj][key]
+	return v, ok
+}
+
+// Objects returns every object carrying fact key, sorted by source
+// position so iteration (and therefore diagnostics derived from it)
+// is deterministic.
+func (f *Facts) Objects(key string) []types.Object {
+	var out []types.Object
+	for obj, m := range f.m {
+		if _, ok := m[key]; ok {
+			out = append(out, obj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos() != out[j].Pos() {
+			return out[i].Pos() < out[j].Pos()
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}

@@ -11,6 +11,7 @@ import (
 	"go/scanner"
 	"go/types"
 	"io"
+	"os"
 	"strings"
 
 	"drnet/internal/analysis"
@@ -30,14 +31,21 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("drevallint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (findings + load errors + exit code)")
+	sarifOut := fs.Bool("sarif", false, "emit SARIF 2.1.0 to stdout (for code-scanning upload)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	dir := fs.String("dir", ".", "directory inside the module to resolve patterns from")
+	baselinePath := fs.String("baseline", "", "baseline file: frozen findings are filtered out, only regressions remain")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit clean")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: drevallint [flags] [patterns]\n\nAnalyzes the module's packages (default pattern ./...) with the repo's\ninvariant checks. Suppress a finding with //lint:allow <check> <reason>\non or directly above the flagged line.\n\nFlags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return ExitLoadError
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintf(stderr, "drevallint: -json and -sarif are mutually exclusive\n")
 		return ExitLoadError
 	}
 
@@ -93,6 +101,41 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	findings := analysis.Run(pkgs, selected)
+	root := loader.ModuleRoot()
+
+	if *writeBaseline != "" {
+		data, err := analysis.WriteBaseline(findings, root)
+		if err != nil {
+			fmt.Fprintf(stderr, "drevallint: %v\n", err)
+			return ExitLoadError
+		}
+		if err := os.WriteFile(*writeBaseline, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "drevallint: %v\n", err)
+			return ExitLoadError
+		}
+		fmt.Fprintf(stdout, "drevallint: wrote %d findings to baseline %s\n", len(findings), *writeBaseline)
+		if len(loadErrs) > 0 {
+			for _, d := range loadErrs {
+				fmt.Fprintf(stderr, "%s\n", d)
+			}
+			return ExitLoadError
+		}
+		return ExitClean
+	}
+
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "drevallint: %v\n", err)
+			return ExitLoadError
+		}
+		bl, err := analysis.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "drevallint: %v\n", err)
+			return ExitLoadError
+		}
+		findings = bl.Filter(findings, root)
+	}
 
 	code := ExitClean
 	if len(findings) > 0 {
@@ -100,6 +143,21 @@ func Run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(loadErrs) > 0 {
 		code = ExitLoadError
+	}
+
+	if *sarifOut {
+		data, err := analysis.SARIF(findings, selected, root)
+		if err != nil {
+			fmt.Fprintf(stderr, "drevallint: %v\n", err)
+			return ExitLoadError
+		}
+		if _, err := stdout.Write(data); err != nil {
+			return ExitLoadError
+		}
+		for _, d := range loadErrs {
+			fmt.Fprintf(stderr, "%s\n", d)
+		}
+		return code
 	}
 
 	if *jsonOut {

@@ -3,6 +3,8 @@ package lintmain_test
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -139,5 +141,118 @@ func TestChecksSubsetSkipsOtherAnalyzers(t *testing.T) {
 	code, stdout, stderr := run(t, "-checks", "nondet", findingsPat)
 	if code != lintmain.ExitClean {
 		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, lintmain.ExitClean, stdout, stderr)
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	code, stdout, _ := run(t, "-sarif", findingsPat)
+	if code != lintmain.ExitFindings {
+		t.Fatalf("exit = %d, want %d", code, lintmain.ExitFindings)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("stdout is not valid SARIF JSON: %v\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "drevallint" {
+		t.Fatalf("unexpected SARIF header: %s", stdout)
+	}
+	results := log.Runs[0].Results
+	if len(results) != 1 || results[0].RuleID != "gosafety" {
+		t.Fatalf("results = %+v, want the one gosafety finding", results)
+	}
+	uri := results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if uri != "internal/analysis/lintmain/testdata/findings/bad.go" {
+		t.Errorf("uri = %q, want module-root-relative slashed path", uri)
+	}
+}
+
+func TestSARIFJSONMutuallyExclusive(t *testing.T) {
+	code, _, stderr := run(t, "-json", "-sarif", cleanPat)
+	if code != lintmain.ExitLoadError {
+		t.Fatalf("exit = %d, want %d", code, lintmain.ExitLoadError)
+	}
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Errorf("stderr should explain the conflict, got: %s", stderr)
+	}
+}
+
+// TestBaselineFlagRoundTrip drives the CLI adoption flow end to end:
+// freeze the findings fixture's diagnostics, then re-lint against the
+// frozen file — the run must exit clean because every finding is
+// pre-existing debt, not a regression.
+func TestBaselineFlagRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+
+	code, stdout, stderr := run(t, "-write-baseline", path, findingsPat)
+	if code != lintmain.ExitClean {
+		t.Fatalf("write-baseline exit = %d, want %d\nstderr: %s", code, lintmain.ExitClean, stderr)
+	}
+	if !strings.Contains(stdout, "wrote 1 findings") {
+		t.Errorf("stdout should report the frozen count, got: %s", stdout)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("baseline file not written: %v", err)
+	}
+
+	code, stdout, stderr = run(t, "-baseline", path, findingsPat)
+	if code != lintmain.ExitClean {
+		t.Fatalf("baseline-filtered exit = %d, want %d\nstdout: %s\nstderr: %s", code, lintmain.ExitClean, stdout, stderr)
+	}
+
+	// Without the baseline the same fixture still fails — the filter is
+	// opt-in per run, not sticky state.
+	code, _, _ = run(t, findingsPat)
+	if code != lintmain.ExitFindings {
+		t.Fatalf("unfiltered exit = %d, want %d", code, lintmain.ExitFindings)
+	}
+}
+
+func TestBaselineMissingFileIsLoadError(t *testing.T) {
+	code, _, stderr := run(t, "-baseline", filepath.Join(t.TempDir(), "nope.json"), cleanPat)
+	if code != lintmain.ExitLoadError {
+		t.Fatalf("exit = %d, want %d\nstderr: %s", code, lintmain.ExitLoadError, stderr)
+	}
+}
+
+// TestDeliberateViolationFixtures pins the CI failure legs: each new
+// analyzer must fail its seeded-violation package, so a regression
+// that silences a check cannot pass as "clean".
+func TestDeliberateViolationFixtures(t *testing.T) {
+	cases := []struct {
+		check, pat, wantMsg string
+	}{
+		{"lockguard", "./internal/analysis/lintmain/testdata/lockguardbad", "guarded by mu but accessed without holding it"},
+		{"hotalloc", "./internal/analysis/lintmain/testdata/hotallocbad", "allocates in hot path"},
+		{"seedflow", "./internal/analysis/lintmain/testdata/seedflowbad", "traces to a constant on every path"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.check, func(t *testing.T) {
+			code, stdout, stderr := run(t, "-checks", tc.check, tc.pat)
+			if code != lintmain.ExitFindings {
+				t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", code, lintmain.ExitFindings, stdout, stderr)
+			}
+			if !strings.Contains(stdout, tc.wantMsg) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantMsg, stdout)
+			}
+		})
 	}
 }

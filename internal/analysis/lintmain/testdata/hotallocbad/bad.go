@@ -1,0 +1,18 @@
+// Package hotallocbad is a deliberate hotalloc violation, kept for the
+// CI leg that proves the analyzer still fails a build: a per-record
+// hot function that allocates on every call.
+package hotallocbad
+
+// Sum is marked as running once per record but makes a fresh slice
+// every call.
+//
+//lint:hot perrecord
+func Sum(xs []float64) float64 {
+	buf := make([]float64, 0, len(xs))
+	buf = append(buf, xs...)
+	var s float64
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,17 @@
+// Package lockguardbad is a deliberate lockguard violation, kept for
+// the CI leg that proves the analyzer still fails a build: a guarded
+// field is read without holding its mutex.
+package lockguardbad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Peek reads n without taking mu — the exact bug the annotation exists
+// to catch.
+func (c *counter) Peek() int {
+	return c.n
+}

@@ -1,0 +1,12 @@
+// Package seedflowbad is a deliberate seedflow violation, kept for the
+// CI leg that proves the analyzer still fails a build: an RNG seeded
+// with a bare constant, so every run draws the same stream.
+package seedflowbad
+
+import "drnet/internal/mathx"
+
+// Draw builds a constant-seeded generator.
+func Draw() float64 {
+	rng := mathx.NewRNG(42)
+	return rng.Float64()
+}

@@ -102,6 +102,11 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 // ModulePath returns the enclosing module's path (e.g. "drnet").
 func (l *Loader) ModulePath() string { return l.modulePath }
 
+// ModuleRoot returns the absolute directory containing go.mod; SARIF
+// and baseline fingerprints are rooted here so they stay stable across
+// checkouts.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
 // Load expands the given patterns — "./...", "./dir/...", "./dir", or
 // plain import paths within the module — and returns the matched
 // packages sorted by import path. Directories without buildable

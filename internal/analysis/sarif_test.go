@@ -1,0 +1,160 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"drnet/internal/analysis"
+)
+
+func sampleDiags() []analysis.Diagnostic {
+	return []analysis.Diagnostic{
+		{File: "/repo/internal/core/a.go", Line: 10, Col: 3, Check: "hotalloc", Message: "make allocates in hot path DirectView (estimator kernel)"},
+		{File: "/repo/cmd/drevald/b.go", Line: 42, Col: 1, Check: "lockguard", Message: "rewards is guarded by mu but accessed without holding it; acquire mu or move this access into a *Locked method"},
+		{File: "", Line: 0, Col: 0, Check: "load", Message: "package x: parse error"},
+	}
+}
+
+func sampleAnalyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		{Name: "lockguard", Doc: "guarded-by field accesses must hold the named mutex"},
+		{Name: "hotalloc", Doc: "hot-path functions must not heap-allocate"},
+	}
+}
+
+// TestSARIFDeterministic locks down byte-stability: CI diffs
+// consecutive uploads, so identical inputs must marshal identically.
+func TestSARIFDeterministic(t *testing.T) {
+	var first []byte
+	for i := 0; i < 5; i++ {
+		out, err := analysis.SARIF(sampleDiags(), sampleAnalyzers(), "/repo")
+		if err != nil {
+			t.Fatalf("SARIF: %v", err)
+		}
+		if first == nil {
+			first = out
+			continue
+		}
+		if !bytes.Equal(out, first) {
+			t.Fatalf("run %d produced different bytes:\n%s\nvs\n%s", i, out, first)
+		}
+	}
+	if first[len(first)-1] != '\n' {
+		t.Error("output must end in a newline")
+	}
+}
+
+// TestSARIFShape validates the structural contract GitHub code
+// scanning depends on: schema/version header, one run, a sorted rule
+// table covering every selected analyzer plus the runner's lint/load
+// meta-rules, ruleIndex agreeing with that table, and root-relative
+// slash-separated URIs under %SRCROOT%.
+func TestSARIFShape(t *testing.T) {
+	out, err := analysis.SARIF(sampleDiags(), sampleAnalyzers(), "/repo")
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region *struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("header = %q %q, want SARIF 2.1.0", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "drevallint" {
+		t.Errorf("driver = %q, want drevallint", run.Tool.Driver.Name)
+	}
+	var ids []string
+	for _, r := range run.Tool.Driver.Rules {
+		ids = append(ids, r.ID)
+	}
+	if !sortedStrings(ids) {
+		t.Errorf("rules not sorted: %v", ids)
+	}
+	for _, want := range []string{"lockguard", "hotalloc", "lint", "load"} {
+		if !containsString(ids, want) {
+			t.Errorf("rule table missing %q: %v", want, ids)
+		}
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	for _, res := range run.Results {
+		if res.Level != "error" {
+			t.Errorf("level = %q, want error", res.Level)
+		}
+		if got := run.Tool.Driver.Rules[res.RuleIndex].ID; got != res.RuleID {
+			t.Errorf("ruleIndex %d resolves to %q, want %q", res.RuleIndex, got, res.RuleID)
+		}
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/a.go" || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("artifact = %+v, want root-relative URI under %%SRCROOT%%", loc.ArtifactLocation)
+	}
+	if loc.Region == nil || loc.Region.StartLine != 10 {
+		t.Errorf("region = %+v, want startLine 10", loc.Region)
+	}
+	// The positionless load error must carry no location at all (and in
+	// particular no zero-valued region, which code scanning rejects).
+	for _, res := range run.Results {
+		if res.RuleID == "load" && len(res.Locations) != 0 {
+			t.Errorf("load error must have no location, got %+v", res.Locations)
+		}
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsString(s []string, want string) bool {
+	for _, v := range s {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}

@@ -337,6 +337,8 @@ func ComputeCtx[C any, D comparable](ctx context.Context, v *core.TraceView[C, D
 // windowStats scans records [lo, hi) sequentially with O(1)-per-record
 // accumulators. The only allocation is the context-occurrence counter
 // (one int32 per unique context) — per window, never per record.
+//
+//lint:hot
 func windowStats[C any, D comparable](v *core.TraceView[C, D], probLast []float64, k, numCtx, wi, lo, hi int, clip float64) WindowStats {
 	ws := WindowStats{Index: wi, Start: lo, End: hi, N: hi - lo}
 	if ws.N == 0 {

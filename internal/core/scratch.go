@@ -24,6 +24,7 @@ var (
 func getFloats(n int) *[]float64 {
 	p := floatScratch.Get().(*[]float64)
 	if cap(*p) < n {
+		//lint:allow hotalloc pool miss; capacity is retained and reused across calls
 		*p = make([]float64, n)
 	}
 	*p = (*p)[:n]
@@ -48,6 +49,7 @@ func putInt32s(p *[]int32) { int32Scratch.Put(p) }
 func getInts(n int) *[]int {
 	p := intScratch.Get().(*[]int)
 	if cap(*p) < n {
+		//lint:allow hotalloc pool miss; capacity is retained and reused across calls
 		*p = make([]int, n)
 	}
 	*p = (*p)[:n]

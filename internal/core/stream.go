@@ -43,14 +43,14 @@ import (
 // returned views are immutable and safe to share across goroutines.
 type ViewBuilder[C any, D comparable] struct {
 	mu           sync.Mutex
-	rewards      []float64
-	propensities []float64
-	ctxCodes     []int32
-	decCodes     []int32
-	contexts     []C
-	ctxFirst     []int32
-	decisions    []D
-	decIndex     map[D]int32
+	rewards      []float64   // guarded by mu
+	propensities []float64   // guarded by mu
+	ctxCodes     []int32     // guarded by mu
+	decCodes     []int32     // guarded by mu
+	contexts     []C         // guarded by mu
+	ctxFirst     []int32     // guarded by mu
+	decisions    []D         // guarded by mu
+	decIndex     map[D]int32 // guarded by mu
 	intern       func(C) (int32, bool)
 	// copyLookup clones the context-interning index under the lock and
 	// returns a lookup closure over the clone, so snapshots never read

@@ -228,6 +228,7 @@ func SwitchDRViewCtx[C any, D comparable](ctx context.Context, v *TraceView[C, D
 		dm := mt.dm[u]
 		if weights[i] <= tau {
 			contrib[i] = dm + weights[i]*(v.rewards[i]-mt.pred[u*k+kc])
+			//lint:allow hotalloc appends into pooled scratch; grows only until capacity settles
 			kept = append(kept, weights[i])
 			if weights[i] > maxW {
 				maxW = weights[i]
@@ -267,6 +268,7 @@ func MatchedRewardsViewCtx[C any, D comparable](ctx context.Context, v *TraceVie
 			}
 		}
 		if tb.argmax[v.ctxCodes[i]] == v.decCodes[i] {
+			//lint:allow hotalloc appends into pooled scratch; grows only until capacity settles
 			matched = append(matched, v.rewards[i])
 		}
 	}
@@ -352,8 +354,10 @@ func CrossFitDRView[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C,
 		evalIdx := (*ip)[:0]
 		for i := 0; i < n; i++ {
 			if i%folds == f {
+				//lint:allow hotalloc per-fold index build, O(n/folds) amortized once per cross-fit call
 				evalIdx = append(evalIdx, i)
 			} else {
+				//lint:allow hotalloc per-fold training partition; cross-fitting is inherently O(n) per fold
 				fitPart = append(fitPart, v.At(i))
 			}
 		}

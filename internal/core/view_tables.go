@@ -77,6 +77,7 @@ func buildViewTables[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C
 		dist := newPolicy.Distribution(v.contexts[u])
 		if err := ValidateDistribution(dist); err != nil {
 			if tb.valErr == nil {
+				//lint:allow hotalloc validation-failure path; allocated at most once per table build
 				tb.valErr = make([]error, numCtx)
 			}
 			tb.valErr[u] = err
@@ -99,8 +100,11 @@ func buildViewTables[C any, D comparable](v *TraceView[C, D], newPolicy Policy[C
 			if inDict {
 				code = kc
 			}
+			//lint:allow hotalloc appends into pooled table scratch, per unique context not per record
 			distProb = append(distProb, w.Prob)
+			//lint:allow hotalloc appends into pooled table scratch, per unique context not per record
 			distCode = append(distCode, code)
+			//lint:allow hotalloc decision dictionary grows per unique context, amortized across records
 			distDec = append(distDec, w.Decision)
 		}
 		off[u+1] = int32(len(distProb))
@@ -187,6 +191,7 @@ type modelTable struct {
 // per-pair interface and map traffic.
 func buildModelTable[C any, D comparable](v *TraceView[C, D], tb *viewTables[D], model RewardModel[C, D]) *modelTable {
 	numCtx, k := len(v.contexts), tb.k
+	//lint:allow hotalloc one table header per evaluation, released to pools by the caller
 	mt := &modelTable{}
 	mt.pp = getFloats(numCtx * k)
 	mt.pd = getFloats(numCtx)

@@ -53,8 +53,8 @@ type TraceRecorder struct {
 	slots []atomic.Pointer[SpanRecord]
 	next  atomic.Uint64
 
-	sinkMu      sync.Mutex // serializes SetSink swaps, not line writes
-	sink        atomic.Pointer[sinkState]
+	sinkMu      sync.Mutex                // serializes SetSink swaps, not line writes
+	sink        atomic.Pointer[sinkState] // guarded by sinkMu (writes)
 	sinkDropped atomic.Uint64
 }
 

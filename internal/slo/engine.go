@@ -95,8 +95,8 @@ type Engine struct {
 	now func() time.Time
 
 	mu   sync.Mutex
-	objs []*objectiveState
-	hook func(Transition)
+	objs []*objectiveState // guarded by mu
+	hook func(Transition)  // guarded by mu
 }
 
 // New builds an engine for cfg (validated and defaulted). now is the

@@ -207,25 +207,34 @@ type Log struct {
 	opts Options
 
 	mu        sync.Mutex
-	f         *os.File
-	segName   string
-	segIndex  int
-	segBytes  int64
-	segFrames uint64
-	sealed    []SegmentInfo
-	seq       uint64 // next frame sequence number
-	bytes     int64  // total valid bytes across all segments
-	wedged    bool
-	closed    bool
-	dirty     bool // frames written since last sync
+	f         *os.File      // guarded by mu
+	segName   string        // guarded by mu
+	segIndex  int           // guarded by mu
+	segBytes  int64         // guarded by mu
+	segFrames uint64        // guarded by mu
+	sealed    []SegmentInfo // guarded by mu
+	// seq is the next frame sequence number.
+	// guarded by mu
+	seq uint64
+	// bytes is the total valid bytes across all segments.
+	// guarded by mu
+	bytes  int64
+	wedged bool // guarded by mu
+	closed bool // guarded by mu
+	// dirty marks frames written since last sync.
+	// guarded by mu
+	dirty bool
 
 	syncStop chan struct{}
 	syncDone chan struct{}
 	// lastSyncErr surfaces background-interval sync failures to the
 	// next Append, so a silently failing disk cannot keep acking.
+	// guarded by mu
 	lastSyncErr error
 
-	scratch []byte // frame assembly buffer, reused across appends
+	// scratch is the frame assembly buffer, reused across appends.
+	// guarded by mu
+	scratch []byte
 }
 
 var segmentRe = regexp.MustCompile(`^wal-(\d{8})\.seg$`)

@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -403,5 +404,68 @@ func TestHandler(t *testing.T) {
 	resp.Body.Close()
 	if !bytes.Contains(sb.Bytes(), []byte(`"events":[]`)) {
 		t.Fatalf("empty result body %q must carry \"events\":[]", sb.String())
+	}
+}
+
+// TestConcurrentRecordAndSetSink races Finish (the Record/emit path)
+// against repeated SetSink install/replace/remove cycles — the
+// sinkMu-guarded swap contract the lockguard annotation on
+// Journal.sink documents. Under -race this is the regression test for
+// that contract: emitters read the sink pointer lock-free while
+// SetSink serializes swaps and flushes the outgoing drainer, so no
+// delivered line may be lost, duplicated, or written after the final
+// SetSink(nil) returns.
+func TestConcurrentRecordAndSetSink(t *testing.T) {
+	j := NewJournal(Options{Capacity: 64, SampleRate: 1, Now: fixedClock()})
+
+	var delivered atomic.Uint64
+	var closed atomic.Bool
+	sink := func(line []byte) {
+		if closed.Load() {
+			t.Error("sink write after final SetSink(nil) returned")
+		}
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			t.Errorf("malformed sink line %q", line)
+		}
+		delivered.Add(1)
+	}
+
+	const workers = 4
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				emitHealthy(j, fmt.Sprintf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+	// Swap the sink concurrently with the emitters: install, replace,
+	// remove, reinstall. Every cycle exercises the swap-flush path
+	// while emit is loading the pointer lock-free.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			j.SetSink(sink)
+			j.SetSink(sink)
+			j.SetSink(nil)
+		}
+		j.SetSink(sink)
+	}()
+	wg.Wait()
+
+	// Final removal flushes the last drainer; nothing may arrive after.
+	j.SetSink(nil)
+	closed.Store(true)
+
+	st := j.Stats()
+	if st.Emitted != workers*perWorker {
+		t.Fatalf("emitted %d, want %d", st.Emitted, workers*perWorker)
+	}
+	if got := delivered.Load() + j.SinkDropped(); got > uint64(workers*perWorker) {
+		t.Fatalf("delivered %d + dropped %d exceeds emitted %d", delivered.Load(), j.SinkDropped(), workers*perWorker)
 	}
 }
